@@ -1,0 +1,112 @@
+// Native primitive latencies (google-benchmark, wall clock): CAS vs the HTM
+// path used by PTO, and software DCAS vs PTO DCAS. On a machine with working
+// RTM these are real hardware-transaction numbers; otherwise SoftHTM.
+//
+// Single-threaded by design (this box may have one core); the multithreaded
+// behaviour is evaluated on the simulator by the fig* binaries.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "core/prefix.h"
+#include "htm/htm.h"
+#include "kcas/kcas.h"
+#include "platform/native_platform.h"
+#include "reclaim/epoch.h"
+
+namespace {
+
+using pto::Atom;
+using pto::NativePlatform;
+namespace kc = pto::kcas;
+
+void BM_AtomicCAS(benchmark::State& state) {
+  Atom<NativePlatform, std::uint64_t> w;
+  w.init(0);
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    std::uint64_t expect = v;
+    benchmark::DoNotOptimize(w.compare_exchange_strong(expect, v + 4));
+    v += 4;
+  }
+}
+BENCHMARK(BM_AtomicCAS);
+
+void BM_SeqCstStore(benchmark::State& state) {
+  Atom<NativePlatform, std::uint64_t> w;
+  w.init(0);
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    w.store(++v, std::memory_order_seq_cst);
+  }
+}
+BENCHMARK(BM_SeqCstStore);
+
+void BM_TxBeginCommitEmpty(benchmark::State& state) {
+  std::uint64_t commits = 0;
+  for (auto _ : state) {
+    commits += pto::prefix<NativePlatform>(
+        4, []() -> int { return 1; }, []() -> int { return 0; });
+  }
+  state.counters["commit_rate"] =
+      benchmark::Counter(static_cast<double>(commits),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TxBeginCommitEmpty);
+
+void BM_TxTwoWordUpdate(benchmark::State& state) {
+  Atom<NativePlatform, std::uint64_t> a, b;
+  a.init(0);
+  b.init(0);
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    ++v;
+    pto::prefix<NativePlatform>(
+        4,
+        [&] {
+          a.store(v, std::memory_order_relaxed);
+          b.store(v, std::memory_order_relaxed);
+        },
+        [&] {
+          a.store(v);
+          b.store(v);
+        });
+  }
+}
+BENCHMARK(BM_TxTwoWordUpdate);
+
+void BM_SoftwareDcas(benchmark::State& state) {
+  pto::EpochDomain<NativePlatform> dom;
+  kc::Ctx<NativePlatform> ctx(dom);
+  kc::Word<NativePlatform> a, b;
+  a.init(0);
+  b.init(0);
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    typename pto::EpochDomain<NativePlatform>::Guard g(ctx.epoch);
+    benchmark::DoNotOptimize(
+        kc::dcas<NativePlatform>(ctx, a, v, v + 4, b, v, v + 4));
+    v += 4;
+  }
+}
+BENCHMARK(BM_SoftwareDcas);
+
+void BM_PtoDcas(benchmark::State& state) {
+  pto::EpochDomain<NativePlatform> dom;
+  kc::Ctx<NativePlatform> ctx(dom);
+  kc::Word<NativePlatform> a, b;
+  a.init(0);
+  b.init(0);
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    typename pto::EpochDomain<NativePlatform>::Guard g(ctx.epoch);
+    benchmark::DoNotOptimize(
+        kc::pto_dcas<NativePlatform>(ctx, a, v, v + 4, b, v, v + 4));
+    v += 4;
+  }
+}
+BENCHMARK(BM_PtoDcas);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,168 @@
+// Ablation (extension beyond the paper's figures): PTO on the two classic
+// "simple" nonblocking structures the paper cites but does not evaluate —
+// the Harris linked list [14] and the Michael-Scott queue [35] — plus the
+// generic TLE wrapper as the lock-based comparison point.
+//
+// Expected shapes, by the paper's §4.6 criteria ("What Makes PTO Fast?"):
+// both structures are already streamlined in the ASCY sense — one or two
+// CASes per update, no descriptors, no copy-on-write, no redundant stores —
+// so PTO has little to eliminate and we expect ~parity at one thread and a
+// deficit under contention (wasted aborts), the same verdict the paper
+// reaches for the skiplist. The useful wins that remain are epoch elision
+// on lookups and the mark+unlink fusion on removes. TLE contrasts as the
+// lock baseline: comparable at one thread, flat under contention.
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "ds/list/harris_list.h"
+#include "ds/queue/ms_queue.h"
+#include "ds/tle/tle.h"
+#include "platform/sim_platform.h"
+
+namespace {
+
+using pto::HarrisList;
+using pto::MSQueue;
+using pto::SeqHashSet;
+using pto::SimPlatform;
+using pto::TLE;
+namespace pb = pto::bench;
+
+constexpr int kRange = 64;
+
+struct ListFixture {
+  enum class V { kLf, kPto, kTle };
+  explicit ListFixture(V v) : variant(v), tle(256) {}
+  V variant;
+  HarrisList<SimPlatform> list;
+  TLE<SimPlatform, SeqHashSet<SimPlatform>> tle;
+
+  void prefill(std::uint64_t seed) {
+    auto ctx = list.make_ctx();
+    pto::SplitMix64 rng(seed);
+    for (int i = 0; i < kRange / 2; ++i) {
+      auto k = static_cast<std::int64_t>(rng.next_below(kRange));
+      list.insert_lf(ctx, k);
+      tle.unsafe_seq().insert(k);
+    }
+  }
+
+  void thread_body(unsigned, std::uint64_t ops) {
+    auto ctx = list.make_ctx();
+    for (std::uint64_t i = 0; i < ops; ++i) {
+      auto k = static_cast<std::int64_t>(pto::sim::rnd() % kRange);
+      auto c = pto::sim::rnd() % 100;
+      switch (variant) {
+        case V::kLf:
+          if (c < 34) {
+            list.contains_lf(ctx, k);
+          } else if (c < 67) {
+            list.insert_lf(ctx, k);
+          } else {
+            list.remove_lf(ctx, k);
+          }
+          break;
+        case V::kPto:
+          if (c < 34) {
+            list.contains_pto(ctx, k);
+          } else if (c < 67) {
+            list.insert_pto(ctx, k);
+          } else {
+            list.remove_pto(ctx, k);
+          }
+          break;
+        case V::kTle:
+          if (c < 34) {
+            tle.execute([&](auto& s) { return s.contains(k); });
+          } else if (c < 67) {
+            tle.execute([&](auto& s) { return s.insert(k); });
+          } else {
+            tle.execute([&](auto& s) { return s.remove(k); });
+          }
+          break;
+      }
+      pto::sim::op_done();
+    }
+  }
+};
+
+struct QueueFixture {
+  explicit QueueFixture(bool pto) : use_pto(pto) {}
+  bool use_pto;
+  MSQueue<SimPlatform> q;
+
+  void prefill(std::uint64_t seed) {
+    auto ctx = q.make_ctx();
+    pto::SplitMix64 rng(seed);
+    for (int i = 0; i < 128; ++i) {
+      q.enqueue_lf(ctx, static_cast<std::int64_t>(rng.next()));
+    }
+  }
+
+  void thread_body(unsigned, std::uint64_t ops) {
+    auto ctx = q.make_ctx();
+    for (std::uint64_t i = 0; i < ops; ++i) {
+      if (pto::sim::rnd() % 2 == 0) {
+        if (use_pto) {
+          q.enqueue_pto(ctx, static_cast<std::int64_t>(i));
+        } else {
+          q.enqueue_lf(ctx, static_cast<std::int64_t>(i));
+        }
+      } else {
+        if (use_pto) {
+          q.dequeue_pto(ctx);
+        } else {
+          q.dequeue_lf(ctx);
+        }
+      }
+      pto::sim::op_done();
+    }
+  }
+};
+
+}  // namespace
+
+int main() {
+  auto opts = pb::RunnerOptions::from_env();
+
+  pb::Figure lfig;
+  lfig.id = "abl_list";
+  lfig.title = "Harris list set (34/33/33 mix, range 64)";
+  lfig.xs = pb::sweep_threads(opts);
+  pto::sim::Config cfg;
+  pb::run_variant<ListFixture>(lfig, opts, cfg, "List(Lockfree)", [] {
+    return new ListFixture(ListFixture::V::kLf);
+  });
+  pb::run_variant<ListFixture>(lfig, opts, cfg, "List(PTO)", [] {
+    return new ListFixture(ListFixture::V::kPto);
+  });
+  pb::run_variant<ListFixture>(lfig, opts, cfg, "HashTLE", [] {
+    return new ListFixture(ListFixture::V::kTle);
+  });
+  pb::finish(lfig, "abl_list.csv");
+  pb::shape_note(std::cout, "List PTO/LF @1T",
+                 lfig.ratio_at("List(PTO)", "List(Lockfree)", 1),
+                 "~1: ASCY-compliant structure, little to eliminate (4.6)");
+  int maxt = lfig.xs.back();
+  pb::shape_note(std::cout, "List PTO/LF @maxT",
+                 lfig.ratio_at("List(PTO)", "List(Lockfree)", maxt),
+                 "<=1: aborts cost more than the tx saves");
+  pb::shape_note(std::cout, "ListPTO/HashTLE @maxT",
+                 lfig.ratio_at("List(PTO)", "HashTLE", maxt),
+                 "TLE's global lock limits its scaling");
+
+  pb::Figure qfig;
+  qfig.id = "abl_queue";
+  qfig.title = "Michael-Scott queue (50/50 enqueue/dequeue)";
+  qfig.xs = pb::sweep_threads(opts);
+  pb::run_variant<QueueFixture>(qfig, opts, cfg, "MSQueue(Lockfree)",
+                                [] { return new QueueFixture(false); });
+  pb::run_variant<QueueFixture>(qfig, opts, cfg, "MSQueue(PTO)",
+                                [] { return new QueueFixture(true); });
+  pb::finish(qfig, "abl_queue.csv");
+  pb::shape_note(std::cout, "Queue PTO/LF @1T",
+                 qfig.ratio_at("MSQueue(PTO)", "MSQueue(Lockfree)", 1),
+                 "~1: 2 CASes vs tx boundary break even (4.6)");
+  return 0;
+}

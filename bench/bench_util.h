@@ -1,0 +1,63 @@
+// Shared driving code for the figure-reproduction binaries.
+//
+// Every figure binary sweeps thread counts 1..8 (paper hardware: i7-4770,
+// 8 hardware threads) on the simulated multicore, averages PTO_BENCH_TRIALS
+// trials per point (paper: 5 trials), prints the figure as a table, writes a
+// CSV next to the binary, and emits [shape] lines comparing the measured
+// ratios with the paper's qualitative claims (recorded in EXPERIMENTS.md).
+#pragma once
+
+#include <functional>
+#include <iostream>
+#include <string>
+
+#include "benchutil/runner.h"
+#include "benchutil/series.h"
+#include "sim/sim.h"
+
+namespace pto::bench {
+
+/// One variant of one benchmark: fresh structure per trial, sequential
+/// prefill on the host, measured multi-threaded simulation, teardown +
+/// arena reset.
+///
+/// `factory()` allocates a fixture; the fixture must provide:
+///   void prefill(std::uint64_t seed);
+///   void thread_body(unsigned tid, std::uint64_t ops);  // calls op_done
+struct VariantResult {
+  std::vector<double> ops_per_ms;  // indexed by xs
+};
+
+template <class Fixture>
+void run_variant(Figure& fig, const RunnerOptions& opts,
+                 const sim::Config& base_cfg, const std::string& name,
+                 const std::function<Fixture*()>& factory) {
+  Series& s = fig.add_series(name);
+  for (int threads : fig.xs) {
+    double sum = 0.0;
+    for (unsigned trial = 0; trial < opts.trials; ++trial) {
+      sim::Config cfg = base_cfg;
+      cfg.seed = opts.base_seed + 7919ull * trial + 131ull * threads;
+      Fixture* f = factory();
+      f->prefill(cfg.seed ^ 0xABCDEF);
+      auto res = sim::run(static_cast<unsigned>(threads), cfg,
+                          [&](unsigned tid) {
+                            f->thread_body(tid, opts.ops_per_thread);
+                          });
+      sum += res.ops_per_msec();
+      delete f;
+      sim::reset_memory();
+    }
+    s.y.push_back(sum / opts.trials);
+    std::cerr << "  " << name << " t=" << threads << " done\r" << std::flush;
+  }
+  std::cerr << "                                        \r";
+}
+
+inline void finish(Figure& fig, const std::string& csv_name) {
+  fig.print(std::cout);
+  fig.write_csv(csv_name);
+  std::cout << "CSV written to " << csv_name << "\n";
+}
+
+}  // namespace pto::bench

@@ -1,0 +1,86 @@
+// Figure 2(a): Mindicator microbenchmark (mbench).
+//
+// Paper setup: 64-leaf binary tree, default left-to-right thread->leaf
+// mapping; each thread repeatedly arrives with a random value and departs.
+// Series: lock-free baseline, PTO (3 retries), TLE (coarse lock + elision).
+//
+// Paper claims reproduced here (EXPERIMENTS.md "fig2a"):
+//   - at 1 thread, PTO latency is close to TLE (both beat lock-free);
+//   - TLE scales poorly (locking fallback);
+//   - PTO scales like the lock-free code and overtakes it beyond 4 threads.
+#include <iostream>
+
+#include "bench_util.h"
+#include "ds/mindicator/mindicator.h"
+#include "platform/sim_platform.h"
+
+namespace {
+
+using pto::Mindicator;
+using pto::SimPlatform;
+namespace pb = pto::bench;
+
+enum class Variant { kLf, kPto, kTle };
+
+struct Fixture {
+  explicit Fixture(Variant v) : variant(v), mind(64) {}
+  Variant variant;
+  Mindicator<SimPlatform> mind;
+
+  void prefill(std::uint64_t) {}
+
+  void thread_body(unsigned tid, std::uint64_t ops) {
+    for (std::uint64_t i = 0; i < ops; i += 2) {
+      auto v = static_cast<std::int32_t>(pto::sim::rnd() % 1'000'000);
+      switch (variant) {
+        case Variant::kLf:
+          mind.arrive_lf(tid, v);
+          mind.depart_lf(tid);
+          break;
+        case Variant::kPto:
+          mind.arrive_pto(tid, v);
+          mind.depart_pto(tid);
+          break;
+        case Variant::kTle:
+          mind.arrive_tle(tid, v);
+          mind.depart_tle(tid);
+          break;
+      }
+      pto::sim::op_done(2);
+    }
+  }
+};
+
+}  // namespace
+
+int main() {
+  auto opts = pb::RunnerOptions::from_env();
+  pb::Figure fig;
+  fig.id = "fig2a";
+  fig.title = "Mindicator Microbenchmark (mbench, 64 leaves)";
+  fig.xs = pb::sweep_threads(opts);
+
+  pto::sim::Config cfg;
+  pb::run_variant<Fixture>(fig, opts, cfg, "Mindicator(Lockfree)",
+                           [] { return new Fixture(Variant::kLf); });
+  pb::run_variant<Fixture>(fig, opts, cfg, "Mindicator(PTO)",
+                           [] { return new Fixture(Variant::kPto); });
+  pb::run_variant<Fixture>(fig, opts, cfg, "Mindicator(TLE)",
+                           [] { return new Fixture(Variant::kTle); });
+  pb::finish(fig, "fig2a.csv");
+
+  pb::shape_note(std::cout, "PTO/LF @1T",
+                 fig.ratio_at("Mindicator(PTO)", "Mindicator(Lockfree)", 1),
+                 ">1: PTO cuts single-thread latency");
+  pb::shape_note(std::cout, "PTO/TLE @1T",
+                 fig.ratio_at("Mindicator(PTO)", "Mindicator(TLE)", 1),
+                 "~1: PTO near-optimal at one thread");
+  int maxt = fig.xs.back();
+  pb::shape_note(std::cout, "PTO/LF @maxT",
+                 fig.ratio_at("Mindicator(PTO)", "Mindicator(Lockfree)", maxt),
+                 ">=1: PTO scales at least as well as lock-free");
+  pb::shape_note(std::cout, "PTO/TLE @maxT",
+                 fig.ratio_at("Mindicator(PTO)", "Mindicator(TLE)", maxt),
+                 ">>1: TLE collapses under contention");
+  return 0;
+}

@@ -1,0 +1,144 @@
+// Figure 3(a–c): logarithmic search data structure microbenchmark
+// (setbench, key range 512, lookup ratio 0% / 34% / 100%).
+//
+// Series: Ellen BST (lock-free vs PTO1+PTO2) and skiplist (lock-free vs
+// PTO). Paper claims: the accelerated BST matches the skiplist's scalability
+// at lower latency (crossing above it), while skiplist PTO gains ~nothing.
+#include <iostream>
+#include <string>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "ds/bst/ellen_bst.h"
+#include "ds/skiplist/skiplist.h"
+#include "platform/sim_platform.h"
+
+namespace {
+
+using pto::EllenBST;
+using pto::SimPlatform;
+using pto::SkipList;
+namespace pb = pto::bench;
+
+constexpr int kRange = 512;
+
+struct TreeFixture {
+  using Mode = EllenBST<SimPlatform>::Mode;
+  TreeFixture(Mode m, unsigned lookup_pct) : mode(m), lookup(lookup_pct) {}
+  Mode mode;
+  unsigned lookup;
+  EllenBST<SimPlatform> set;
+
+  void prefill(std::uint64_t seed) {
+    auto ctx = set.make_ctx();
+    pto::SplitMix64 rng(seed);
+    for (int i = 0; i < kRange / 2; ++i) {
+      set.insert(ctx, static_cast<std::int64_t>(rng.next_below(kRange)),
+                 Mode::kLockfree);
+    }
+  }
+
+  void thread_body(unsigned, std::uint64_t ops) {
+    auto ctx = set.make_ctx();
+    for (std::uint64_t i = 0; i < ops; ++i) {
+      auto k = static_cast<std::int64_t>(pto::sim::rnd() % kRange);
+      auto c = static_cast<unsigned>(pto::sim::rnd() % 100);
+      if (c < lookup) {
+        set.contains(ctx, k, mode);
+      } else if (c < lookup + (100 - lookup) / 2) {
+        set.insert(ctx, k, mode);
+      } else {
+        set.remove(ctx, k, mode);
+      }
+      pto::sim::op_done();
+    }
+  }
+};
+
+struct SkipFixture {
+  SkipFixture(bool pto, unsigned lookup_pct) : use_pto(pto), lookup(lookup_pct) {}
+  bool use_pto;
+  unsigned lookup;
+  SkipList<SimPlatform> set;
+
+  void prefill(std::uint64_t seed) {
+    auto ctx = set.make_ctx();
+    pto::SplitMix64 rng(seed);
+    for (int i = 0; i < kRange / 2; ++i) {
+      set.insert_lf(ctx, static_cast<std::int64_t>(rng.next_below(kRange)));
+    }
+  }
+
+  void thread_body(unsigned, std::uint64_t ops) {
+    auto ctx = set.make_ctx();
+    for (std::uint64_t i = 0; i < ops; ++i) {
+      auto k = static_cast<std::int64_t>(pto::sim::rnd() % kRange);
+      auto c = static_cast<unsigned>(pto::sim::rnd() % 100);
+      if (c < lookup) {
+        set.contains(ctx, k);
+      } else if (c < lookup + (100 - lookup) / 2) {
+        if (use_pto) {
+          set.insert_pto(ctx, k);
+        } else {
+          set.insert_lf(ctx, k);
+        }
+      } else {
+        if (use_pto) {
+          set.remove_pto(ctx, k);
+        } else {
+          set.remove_lf(ctx, k);
+        }
+      }
+      pto::sim::op_done();
+    }
+  }
+};
+
+void run_subfigure(const char* id, unsigned lookup_pct) {
+  auto opts = pb::RunnerOptions::from_env();
+  pb::Figure fig;
+  fig.id = id;
+  fig.title = "Set Microbenchmark (Lookup=" + std::to_string(lookup_pct) +
+              "% Range=512)";
+  fig.xs = pb::sweep_threads(opts);
+  using Mode = EllenBST<SimPlatform>::Mode;
+
+  pto::sim::Config cfg;
+  pb::run_variant<TreeFixture>(fig, opts, cfg, "Tree(Lockfree)", [=] {
+    return new TreeFixture(Mode::kLockfree, lookup_pct);
+  });
+  pb::run_variant<TreeFixture>(fig, opts, cfg, "Tree(PTO)", [=] {
+    return new TreeFixture(Mode::kPto12, lookup_pct);
+  });
+  pb::run_variant<SkipFixture>(fig, opts, cfg, "Skip(Lockfree)", [=] {
+    return new SkipFixture(false, lookup_pct);
+  });
+  pb::run_variant<SkipFixture>(fig, opts, cfg, "Skip(PTO)", [=] {
+    return new SkipFixture(true, lookup_pct);
+  });
+  pb::finish(fig, std::string(id) + ".csv");
+
+  pb::shape_note(std::cout, "Tree PTO/LF @1T",
+                 fig.ratio_at("Tree(PTO)", "Tree(Lockfree)", 1),
+                 ">1 (PTO1 dominates at low threads)");
+  int maxt = fig.xs.back();
+  pb::shape_note(std::cout, "Tree PTO/LF @maxT",
+                 fig.ratio_at("Tree(PTO)", "Tree(Lockfree)", maxt),
+                 ">1 (PTO2 keeps the win under contention)");
+  pb::shape_note(std::cout, "TreePTO/SkipPTO @maxT",
+                 fig.ratio_at("Tree(PTO)", "Skip(PTO)", maxt),
+                 ">1: accelerated BST outruns the skiplist");
+  pb::shape_note(std::cout, "Skip PTO/LF @1T",
+                 fig.ratio_at("Skip(PTO)", "Skip(Lockfree)", 1),
+                 "~1: skiplist barely improves");
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  run_subfigure("fig3a", 0);
+  run_subfigure("fig3b", 34);
+  run_subfigure("fig3c", 100);
+  return 0;
+}

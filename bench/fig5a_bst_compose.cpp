@@ -1,0 +1,99 @@
+// Figure 5(a): composition of PTO on the binary search tree.
+//
+// Improvement over the lock-free baseline (percent) for PTO1, PTO2, and the
+// hierarchical composition PTO1+PTO2, on the write-only 512-key setbench.
+//
+// Paper claims: PTO1 gives ~75%+ at low thread counts but decays under
+// contention (big read sets conflict); PTO2 is weaker at 1 thread (search
+// overhead remains) but grows with concurrency (smaller contention window);
+// PTO1+PTO2 tracks the better of the two everywhere.
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "ds/bst/ellen_bst.h"
+#include "platform/sim_platform.h"
+
+namespace {
+
+using pto::EllenBST;
+using pto::SimPlatform;
+namespace pb = pto::bench;
+
+constexpr int kRange = 512;
+
+struct Fixture {
+  using Mode = EllenBST<SimPlatform>::Mode;
+  explicit Fixture(Mode m) : mode(m) {}
+  Mode mode;
+  EllenBST<SimPlatform> set;
+
+  void prefill(std::uint64_t seed) {
+    auto ctx = set.make_ctx();
+    pto::SplitMix64 rng(seed);
+    for (int i = 0; i < kRange / 2; ++i) {
+      set.insert(ctx, static_cast<std::int64_t>(rng.next_below(kRange)),
+                 Mode::kLockfree);
+    }
+  }
+
+  void thread_body(unsigned, std::uint64_t ops) {
+    auto ctx = set.make_ctx();
+    for (std::uint64_t i = 0; i < ops; ++i) {
+      auto k = static_cast<std::int64_t>(pto::sim::rnd() % kRange);
+      if (pto::sim::rnd() % 2 == 0) {
+        set.insert(ctx, k, mode);
+      } else {
+        set.remove(ctx, k, mode);
+      }
+      pto::sim::op_done();
+    }
+  }
+};
+
+}  // namespace
+
+int main() {
+  auto opts = pb::RunnerOptions::from_env();
+  using Mode = EllenBST<SimPlatform>::Mode;
+  pb::Figure fig;
+  fig.id = "fig5a";
+  fig.title = "BST PTO Composition (improvement over lock-free, %)";
+  fig.ylabel = "Improvement (%)";
+  fig.xs = pb::sweep_threads(opts);
+
+  pb::Figure raw;
+  raw.id = "fig5a-raw";
+  raw.title = "raw throughput";
+  raw.xs = fig.xs;
+  pto::sim::Config cfg;
+  pb::run_variant<Fixture>(raw, opts, cfg, "LF",
+                           [] { return new Fixture(Mode::kLockfree); });
+  pb::run_variant<Fixture>(raw, opts, cfg, "PTO1",
+                           [] { return new Fixture(Mode::kPto1); });
+  pb::run_variant<Fixture>(raw, opts, cfg, "PTO2",
+                           [] { return new Fixture(Mode::kPto2); });
+  pb::run_variant<Fixture>(raw, opts, cfg, "PTO1+PTO2",
+                           [] { return new Fixture(Mode::kPto12); });
+
+  const auto* lf = raw.find("LF");
+  for (const char* name : {"PTO1", "PTO2", "PTO1+PTO2"}) {
+    auto& s = fig.add_series(name);
+    const auto* v = raw.find(name);
+    for (std::size_t i = 0; i < raw.xs.size(); ++i) {
+      s.y.push_back((v->y[i] / lf->y[i] - 1.0) * 100.0);
+    }
+  }
+  pb::finish(fig, "fig5a.csv");
+
+  pb::shape_note(std::cout, "PTO1 improvement @1T (%)",
+                 fig.find("PTO1")->y.front(), "~75% at low thread counts");
+  pb::shape_note(std::cout, "PTO2 improvement @1T (%)",
+                 fig.find("PTO2")->y.front(), "smaller than PTO1 at 1T");
+  pb::shape_note(
+      std::cout, "PTO1+PTO2 vs max(PTO1,PTO2) @maxT (%)",
+      fig.find("PTO1+PTO2")->y.back() -
+          std::max(fig.find("PTO1")->y.back(), fig.find("PTO2")->y.back()),
+      "~0: composition tracks the better component");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Figure 5(b): fence elimination on the Mound.
+//
+// Improvement over the lock-free Mound for PTO with fences retained inside
+// transactions ("PTO(Fence)", cfg.fences_in_tx = true) vs elided
+// ("PTO(NoFence)"). Paper claim: removing fences was the *sole* source of
+// the Mound's improvement, so PTO(Fence) ~ 0% while PTO(NoFence) is clearly
+// positive.
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "ds/mound/mound.h"
+#include "platform/sim_platform.h"
+
+namespace {
+
+using pto::Mound;
+using pto::SimPlatform;
+namespace pb = pto::bench;
+
+constexpr std::int32_t kKeyRange = 1 << 20;
+
+struct Fixture {
+  explicit Fixture(bool pto) : use_pto(pto), q(16) {}
+  bool use_pto;
+  Mound<SimPlatform> q;
+
+  void prefill(std::uint64_t seed) {
+    auto ctx = q.make_ctx();
+    pto::SplitMix64 rng(seed);
+    for (int i = 0; i < 512; ++i) {
+      q.insert_lf(ctx, static_cast<std::int32_t>(rng.next_below(kKeyRange)));
+    }
+  }
+
+  void thread_body(unsigned, std::uint64_t ops) {
+    auto ctx = q.make_ctx();
+    for (std::uint64_t i = 0; i < ops; ++i) {
+      if (pto::sim::rnd() % 2 == 0) {
+        auto v = static_cast<std::int32_t>(pto::sim::rnd() % kKeyRange);
+        if (use_pto) {
+          q.insert_pto(ctx, v);
+        } else {
+          q.insert_lf(ctx, v);
+        }
+      } else {
+        if (use_pto) {
+          q.extract_min_pto(ctx);
+        } else {
+          q.extract_min_lf(ctx);
+        }
+      }
+      pto::sim::op_done();
+    }
+  }
+};
+
+}  // namespace
+
+int main() {
+  auto opts = pb::RunnerOptions::from_env();
+  pb::Figure fig;
+  fig.id = "fig5b";
+  fig.title = "Fence Elimination on Mound (improvement over lock-free, %)";
+  fig.ylabel = "Improvement (%)";
+  fig.xs = pb::sweep_threads(opts);
+
+  pb::Figure raw;
+  raw.xs = fig.xs;
+  pto::sim::Config base;
+  pb::run_variant<Fixture>(raw, opts, base, "LF",
+                           [] { return new Fixture(false); });
+  pto::sim::Config fenced = base;
+  fenced.fences_in_tx = true;
+  pb::run_variant<Fixture>(raw, opts, fenced, "PTO(Fence)",
+                           [] { return new Fixture(true); });
+  pb::run_variant<Fixture>(raw, opts, base, "PTO(NoFence)",
+                           [] { return new Fixture(true); });
+
+  const auto* lf = raw.find("LF");
+  for (const char* name : {"PTO(Fence)", "PTO(NoFence)"}) {
+    auto& s = fig.add_series(name);
+    for (std::size_t i = 0; i < raw.xs.size(); ++i) {
+      s.y.push_back((raw.find(name)->y[i] / lf->y[i] - 1.0) * 100.0);
+    }
+  }
+  pb::finish(fig, "fig5b.csv");
+
+  pb::shape_note(std::cout, "PTO(NoFence) - PTO(Fence) @1T (pp)",
+                 fig.find("PTO(NoFence)")->y.front() -
+                     fig.find("PTO(Fence)")->y.front(),
+                 ">0: fences were the dominant cost");
+  return 0;
+}

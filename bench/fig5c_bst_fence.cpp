@@ -1,0 +1,92 @@
+// Figure 5(c): fence elimination on the binary search tree.
+//
+// Improvement over the lock-free BST (write-only 512-key setbench) for
+// PTO1+PTO2 with fences retained vs elided inside transactions. Paper
+// claim: fences matter, but unlike the Mound a solid improvement remains
+// without fence elision — eliminating double-checked reads and descriptor
+// allocation carries weight of its own.
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "ds/bst/ellen_bst.h"
+#include "platform/sim_platform.h"
+
+namespace {
+
+using pto::EllenBST;
+using pto::SimPlatform;
+namespace pb = pto::bench;
+
+constexpr int kRange = 512;
+
+struct Fixture {
+  using Mode = EllenBST<SimPlatform>::Mode;
+  explicit Fixture(Mode m) : mode(m) {}
+  Mode mode;
+  EllenBST<SimPlatform> set;
+
+  void prefill(std::uint64_t seed) {
+    auto ctx = set.make_ctx();
+    pto::SplitMix64 rng(seed);
+    for (int i = 0; i < kRange / 2; ++i) {
+      set.insert(ctx, static_cast<std::int64_t>(rng.next_below(kRange)),
+                 Mode::kLockfree);
+    }
+  }
+
+  void thread_body(unsigned, std::uint64_t ops) {
+    auto ctx = set.make_ctx();
+    for (std::uint64_t i = 0; i < ops; ++i) {
+      auto k = static_cast<std::int64_t>(pto::sim::rnd() % kRange);
+      if (pto::sim::rnd() % 2 == 0) {
+        set.insert(ctx, k, mode);
+      } else {
+        set.remove(ctx, k, mode);
+      }
+      pto::sim::op_done();
+    }
+  }
+};
+
+}  // namespace
+
+int main() {
+  auto opts = pb::RunnerOptions::from_env();
+  using Mode = EllenBST<SimPlatform>::Mode;
+  pb::Figure fig;
+  fig.id = "fig5c";
+  fig.title = "Fence Elimination on BST (improvement over lock-free, %)";
+  fig.ylabel = "Improvement (%)";
+  fig.xs = pb::sweep_threads(opts);
+
+  pb::Figure raw;
+  raw.xs = fig.xs;
+  pto::sim::Config base;
+  pb::run_variant<Fixture>(raw, opts, base, "LF",
+                           [] { return new Fixture(Mode::kLockfree); });
+  pto::sim::Config fenced = base;
+  fenced.fences_in_tx = true;
+  pb::run_variant<Fixture>(raw, opts, fenced, "PTO(Fence)",
+                           [] { return new Fixture(Mode::kPto12); });
+  pb::run_variant<Fixture>(raw, opts, base, "PTO(NoFence)",
+                           [] { return new Fixture(Mode::kPto12); });
+
+  const auto* lf = raw.find("LF");
+  for (const char* name : {"PTO(Fence)", "PTO(NoFence)"}) {
+    auto& s = fig.add_series(name);
+    for (std::size_t i = 0; i < raw.xs.size(); ++i) {
+      s.y.push_back((raw.find(name)->y[i] / lf->y[i] - 1.0) * 100.0);
+    }
+  }
+  pb::finish(fig, "fig5c.csv");
+
+  pb::shape_note(std::cout, "PTO(Fence) improvement @1T (%)",
+                 fig.find("PTO(Fence)")->y.front(),
+                 ">0: double-check/allocation elimination alone helps");
+  pb::shape_note(std::cout, "PTO(NoFence) - PTO(Fence) @1T (pp)",
+                 fig.find("PTO(NoFence)")->y.front() -
+                     fig.find("PTO(Fence)")->y.front(),
+                 ">0: fences contribute on top");
+  return 0;
+}

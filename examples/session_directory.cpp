@@ -1,0 +1,78 @@
+// Example: a connection/session directory on the PTO-accelerated hash table.
+//
+// Scenario (the paper's §4.5 workload shape): a server tracks live session
+// ids in a resizable nonblocking hash table. Lookups vastly outnumber
+// updates; with PTO, lookups run as single hardware transactions that skip
+// the epoch-reclamation fences, and session churn uses the speculative
+// in-place update path instead of copy-on-write — the paper's 2x win.
+//
+// Runs on the simulator; prints the allocation counts that explain the win.
+#include <cstdio>
+
+#include "ds/hashtable/fset_hash.h"
+#include "platform/sim_platform.h"
+#include "sim/sim.h"
+
+using pto::FSetHash;
+using pto::SimPlatform;
+using Mode = FSetHash<SimPlatform>::Mode;
+
+namespace {
+
+constexpr unsigned kThreads = 6;
+constexpr int kSessionSpace = 16'384;
+constexpr int kOpsPerThread = 5000;
+
+pto::sim::ThreadStats run_server(FSetHash<SimPlatform>& dir, Mode mode,
+                                 std::uint64_t seed) {
+  pto::sim::Config cfg;
+  cfg.seed = seed;
+  auto res = pto::sim::run(kThreads, cfg, [&](unsigned) {
+    auto ctx = dir.make_ctx();
+    for (int i = 0; i < kOpsPerThread; ++i) {
+      auto sid = static_cast<std::int64_t>(pto::sim::rnd() % kSessionSpace);
+      auto dice = pto::sim::rnd() % 100;
+      if (dice < 80) {
+        dir.contains(ctx, sid, mode);  // route a packet: is session live?
+      } else if (dice < 90) {
+        dir.insert(ctx, sid, mode);  // session connect
+      } else {
+        dir.remove(ctx, sid, mode);  // session disconnect
+      }
+      pto::sim::op_done();
+    }
+  });
+  return res.totals();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("session directory: %u threads, 80%% lookups / 20%% churn\n\n",
+              kThreads);
+
+  for (Mode mode : {Mode::kLockfree, Mode::kPto, Mode::kPtoInplace}) {
+    {
+      FSetHash<SimPlatform> dir;
+      {
+        auto ctx = dir.make_ctx();
+        for (int s = 0; s < kSessionSpace / 2; ++s) {
+          dir.insert(ctx, s * 2, Mode::kLockfree);
+        }
+      }
+      auto t = run_server(dir, mode, 42);
+      const char* name = mode == Mode::kLockfree       ? "lock-free (CoW) "
+                         : mode == Mode::kPto          ? "PTO             "
+                                                       : "PTO + in-place  ";
+      // ops_completed identical across modes; compare by allocations+fences.
+      std::printf("%s  allocations=%7llu  fences=%7llu  tx commits=%7llu\n",
+                  name, static_cast<unsigned long long>(t.allocs),
+                  static_cast<unsigned long long>(t.fences),
+                  static_cast<unsigned long long>(t.tx_commits));
+    }  // the directory must be destroyed before the arena is reset
+    pto::sim::reset_memory();
+  }
+  std::printf("\nPTO removes the lookup fences (epoch elision); the in-place"
+              "\nvariant removes the copy-on-write allocations as well.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+#include "benchutil/runner.h"
+
+#include <cstdlib>
+
+namespace pto::bench {
+
+namespace {
+std::uint64_t env_u64(const char* name, std::uint64_t dflt) {
+  if (const char* v = std::getenv(name)) {
+    char* end = nullptr;
+    auto parsed = std::strtoull(v, &end, 10);
+    if (end != v && parsed > 0) return parsed;
+  }
+  return dflt;
+}
+}  // namespace
+
+RunnerOptions RunnerOptions::from_env() {
+  RunnerOptions o;
+  o.ops_per_thread = env_u64("PTO_BENCH_OPS", o.ops_per_thread);
+  o.trials = static_cast<unsigned>(env_u64("PTO_BENCH_TRIALS", o.trials));
+  o.max_threads =
+      static_cast<unsigned>(env_u64("PTO_BENCH_MAXT", o.max_threads));
+  return o;
+}
+
+std::vector<int> sweep_threads(const RunnerOptions& opts) {
+  std::vector<int> xs;
+  for (unsigned t = 1; t <= opts.max_threads; ++t) xs.push_back(static_cast<int>(t));
+  return xs;
+}
+
+double measure_point(
+    const RunnerOptions& opts, unsigned threads, const sim::Config& base_cfg,
+    const std::function<std::function<void(unsigned, std::uint64_t)>()>&
+        make_fixture) {
+  double sum = 0.0;
+  for (unsigned trial = 0; trial < opts.trials; ++trial) {
+    sim::Config cfg = base_cfg;
+    cfg.seed = opts.base_seed + 1000003ull * trial + threads;
+    auto body = make_fixture();
+    auto res = sim::run(threads, cfg, [&](unsigned tid) {
+      body(tid, opts.ops_per_thread);
+    });
+    sum += res.ops_per_msec();
+  }
+  return sum / opts.trials;
+}
+
+}  // namespace pto::bench

@@ -1,0 +1,39 @@
+// Simulator bench runner: thread sweeps, trial averaging, and environment
+// knobs shared by every figure binary.
+//
+//   PTO_BENCH_OPS    operations per virtual thread per trial (default 20000)
+//   PTO_BENCH_TRIALS trials averaged per point (default 5, as in the paper)
+//   PTO_BENCH_MAXT   maximum thread count in sweeps (default 8)
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/sim.h"
+
+namespace pto::bench {
+
+struct RunnerOptions {
+  std::uint64_t ops_per_thread = 6'000;
+  unsigned trials = 3;  // deterministic sim: seeds differ, variance is tiny
+  unsigned max_threads = 8;
+  std::uint64_t base_seed = 42;
+
+  /// Apply PTO_BENCH_* environment overrides.
+  static RunnerOptions from_env();
+};
+
+/// Thread counts 1..max_threads.
+std::vector<int> sweep_threads(const RunnerOptions& opts);
+
+/// One measured point: run `body(tid, ops)` on `threads` virtual threads for
+/// each trial (distinct seeds) and return mean throughput in ops/ms.
+/// `make_fixture` runs before each trial (single-threaded, on the host) and
+/// returns a callable executed per virtual thread.
+double measure_point(
+    const RunnerOptions& opts, unsigned threads, const sim::Config& base_cfg,
+    const std::function<std::function<void(unsigned, std::uint64_t)>()>&
+        make_fixture);
+
+}  // namespace pto::bench

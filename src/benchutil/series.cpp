@@ -1,0 +1,75 @@
+#include "benchutil/series.h"
+
+#include <cstdio>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <stdexcept>
+
+namespace pto::bench {
+
+Series& Figure::add_series(std::string name) {
+  series.push_back(Series{std::move(name), {}});
+  return series.back();
+}
+
+const Series* Figure::find(const std::string& name) const {
+  for (const auto& s : series) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+void Figure::print(std::ostream& os) const {
+  os << "== " << id << ": " << title << " (" << ylabel << ") ==\n";
+  os << std::left << std::setw(10) << "threads";
+  for (const auto& s : series) os << std::right << std::setw(18) << s.name;
+  os << "\n";
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    os << std::left << std::setw(10) << xs[i];
+    for (const auto& s : series) {
+      os << std::right << std::setw(18) << std::fixed << std::setprecision(1)
+         << (i < s.y.size() ? s.y[i] : 0.0);
+    }
+    os << "\n";
+  }
+  os.flush();
+}
+
+void Figure::write_csv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return;
+  f << "threads";
+  for (const auto& s : series) f << "," << s.name;
+  f << "\n";
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    f << xs[i];
+    for (const auto& s : series) {
+      f << "," << (i < s.y.size() ? s.y[i] : 0.0);
+    }
+    f << "\n";
+  }
+}
+
+double Figure::ratio_at(const std::string& a, const std::string& b,
+                        int x) const {
+  const Series* sa = find(a);
+  const Series* sb = find(b);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (xs[i] == x && sa && sb && i < sa->y.size() && i < sb->y.size() &&
+        sb->y[i] != 0.0) {
+      return sa->y[i] / sb->y[i];
+    }
+  }
+  throw std::out_of_range("Figure::ratio_at: series or x not found");
+}
+
+void shape_note(std::ostream& os, const std::string& label, double value,
+                const std::string& paper_claim) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.2f", value);
+  os << "  [shape] " << label << ": " << buf << "  (paper: " << paper_claim
+     << ")\n";
+}
+
+}  // namespace pto::bench

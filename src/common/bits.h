@@ -1,0 +1,33 @@
+// Widening/narrowing between arbitrary trivially-copyable values (<= 8 bytes)
+// and uint64_t, used by the type-erased memory hooks.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace pto {
+
+template <class T>
+constexpr void assert_word_like() {
+  static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8,
+                "instrumented atomics require trivially copyable T <= 8 bytes");
+}
+
+template <class T>
+inline std::uint64_t widen(T v) {
+  assert_word_like<T>();
+  std::uint64_t out = 0;
+  std::memcpy(&out, &v, sizeof(T));
+  return out;
+}
+
+template <class T>
+inline T narrow(std::uint64_t v) {
+  assert_word_like<T>();
+  T out;
+  std::memcpy(&out, &v, sizeof(T));
+  return out;
+}
+
+}  // namespace pto

@@ -1,0 +1,35 @@
+// Basic project-wide definitions: cache-line geometry, thread limits,
+// branch hints, and small utilities shared by every module.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cassert>
+
+namespace pto {
+
+/// Cache-line size assumed by both the native padding helpers and the
+/// simulator's line-granular conflict detection.
+inline constexpr std::size_t kCacheLine = 64;
+
+/// Maximum number of threads (native) or virtual threads (simulator) that may
+/// concurrently use a single data-structure instance. Bitmask-based conflict
+/// tracking in the simulator requires this to be <= 64.
+inline constexpr unsigned kMaxThreads = 64;
+
+#if defined(__GNUC__) || defined(__clang__)
+#define PTO_LIKELY(x) __builtin_expect(!!(x), 1)
+#define PTO_UNLIKELY(x) __builtin_expect(!!(x), 0)
+#else
+#define PTO_LIKELY(x) (x)
+#define PTO_UNLIKELY(x) (x)
+#endif
+
+/// Alignment wrapper that gives a value its own cache line, preventing false
+/// sharing between per-thread slots.
+template <class T>
+struct alignas(kCacheLine) CacheAligned {
+  T value{};
+};
+
+}  // namespace pto

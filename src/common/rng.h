@@ -1,0 +1,40 @@
+// Deterministic, allocation-free PRNGs used by workloads and the simulator.
+// std::mt19937 is avoided in hot paths; SplitMix64 is enough for workload
+// key selection and scheduler tie-breaking, and keeps runs reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace pto {
+
+/// SplitMix64: tiny, fast, well-distributed 64-bit generator. Used to seed
+/// and to generate workload keys. Deterministic for a given seed.
+class SplitMix64 {
+ public:
+  constexpr explicit SplitMix64(std::uint64_t seed = 0x9E3779B97F4A7C15ull)
+      : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform value in [0, bound). bound must be nonzero.
+  constexpr std::uint64_t next_below(std::uint64_t bound) {
+    return next() % bound;
+  }
+
+  /// Uniform value in [0, 100) — convenient for percentage mixes.
+  constexpr unsigned next_percent() {
+    return static_cast<unsigned>(next() % 100u);
+  }
+
+  constexpr void reseed(std::uint64_t seed) { state_ = seed; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace pto

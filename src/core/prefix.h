@@ -1,0 +1,116 @@
+// The Prefix Transaction combinator — the paper's Definition 1 as a library.
+//
+//   prefix<P>(policy, fast, slow)
+//
+// attempts to run `fast` inside a hardware transaction up to policy.attempts
+// times, then runs `slow` (the unmodified lock-free code) outside any
+// transaction. Both callables must return the same type. `fast` runs under
+// transactional semantics: it may call P::tx_abort<code>() to bail out (the
+// paper's §2.4 "avoid helping" pattern), must not allocate host resources
+// that need unwinding (aborts longjmp / hardware-rollback past it), and its
+// shared accesses go through P::atomic.
+//
+// Progress (paper Theorems 2 & 3): attempts are finite and the fallback is
+// the original algorithm, so the composition preserves lock-/wait-freedom.
+//
+// Composition (paper §2.5): nest by making `slow` itself call prefix —
+// e.g. BST PTO1+PTO2 is prefix(2, wholeOp, [&]{ return insertPTO2(...); }).
+#pragma once
+
+#include <csetjmp>
+#include <cstdint>
+#include <type_traits>
+
+#include "htm/txcode.h"
+#include "platform/platform.h"
+
+namespace pto {
+
+/// Per-call-site statistics. Not thread-safe: keep one per thread and sum.
+struct PrefixStats {
+  std::uint64_t attempts = 0;
+  std::uint64_t commits = 0;
+  std::uint64_t fallbacks = 0;
+  std::uint64_t aborts[kTxCodeCount] = {};
+
+  std::uint64_t total_aborts() const {
+    std::uint64_t n = 0;
+    for (auto a : aborts) n += a;
+    return n;
+  }
+  void accumulate(const PrefixStats& o) {
+    attempts += o.attempts;
+    commits += o.commits;
+    fallbacks += o.fallbacks;
+    for (unsigned i = 0; i < kTxCodeCount; ++i) aborts[i] += o.aborts[i];
+  }
+};
+
+struct PrefixPolicy {
+  int attempts = 1;
+  /// Explicit aborts signal "this situation wants the fallback" (§2.4);
+  /// retrying them is usually wasted work.
+  bool retry_on_explicit = false;
+  /// Capacity/duration aborts will recur; retry only if asked.
+  bool retry_on_capacity = false;
+
+  constexpr PrefixPolicy() = default;
+  constexpr explicit PrefixPolicy(int n) : attempts(n) {}
+};
+
+template <class P, class Fast, class Slow>
+auto prefix(PrefixPolicy pol, Fast&& fast, Slow&& slow,
+            PrefixStats* st = nullptr) -> std::invoke_result_t<Slow&> {
+  using R = std::invoke_result_t<Slow&>;
+  static_assert(std::is_same_v<R, std::invoke_result_t<Fast&>>,
+                "fast and slow paths must return the same type");
+  // volatile: locals modified between setjmp and longjmp are otherwise
+  // indeterminate after an abort returns through the checkpoint.
+  volatile int vi = 0;
+  for (;;) {
+    const int i = vi;
+    if (i >= pol.attempts) break;
+    vi = i + 1;
+    if (st) ++st->attempts;
+    unsigned s;
+    if (!P::in_tx()) {
+      // Software backends abort via longjmp; arm the checkpoint in THIS
+      // frame, which stays live for the whole transaction. RTM ignores it.
+      int j = setjmp(P::tx_checkpoint());
+      s = (j == 0) ? P::tx_begin() : static_cast<unsigned>(j);
+    } else {
+      s = P::tx_begin();  // flat-nested inside an enclosing transaction
+    }
+    if (s == TX_STARTED) {
+      if constexpr (std::is_void_v<R>) {
+        fast();
+        P::tx_end();
+        if (st) ++st->commits;
+        return;
+      } else {
+        R r = fast();
+        P::tx_end();
+        if (st) ++st->commits;
+        return r;
+      }
+    }
+    if (st) ++st->aborts[s < kTxCodeCount ? s : TX_ABORT_OTHER];
+    if (s == TX_ABORT_EXPLICIT && !pol.retry_on_explicit) break;
+    if ((s == TX_ABORT_CAPACITY || s == TX_ABORT_DURATION) &&
+        !pol.retry_on_capacity) {
+      break;
+    }
+  }
+  if (st) ++st->fallbacks;
+  return slow();
+}
+
+/// Convenience overload: attempts only.
+template <class P, class Fast, class Slow>
+auto prefix(int attempts, Fast&& fast, Slow&& slow,
+            PrefixStats* st = nullptr) -> std::invoke_result_t<Slow&> {
+  return prefix<P>(PrefixPolicy(attempts), static_cast<Fast&&>(fast),
+                   static_cast<Slow&&>(slow), st);
+}
+
+}  // namespace pto

@@ -1,0 +1,97 @@
+// Native HTM facade: dispatches to Intel RTM when the CPU supports it and a
+// probe transaction commits, otherwise to SoftHTM (htm/softhtm.h).
+//
+// Backend selection happens once, at first use, and can be forced with the
+// environment variable PTO_HTM=rtm|soft. Selection must occur before threads
+// start transactions (it is made on first call, which NativePlatform performs
+// eagerly).
+#pragma once
+
+#include <csetjmp>
+#include <cstdint>
+
+#include "htm/softhtm.h"
+#include "htm/txcode.h"
+
+#if defined(PTO_HAVE_RTM)
+#include <immintrin.h>
+#endif
+
+namespace pto::htm {
+
+enum class Backend { kRTM, kSoft };
+
+/// The active backend (probed once; sticky for the process lifetime).
+Backend backend();
+
+/// True when transactions are strongly atomic with respect to plain
+/// non-transactional accesses (RTM: yes; SoftHTM: only via its nt_* wrappers,
+/// and epoch elision is additionally unsafe there — see reclaim/epoch.h).
+inline bool strongly_atomic() { return backend() == Backend::kRTM; }
+
+/// Checkpoint for software aborts; pto::prefix() arms it with setjmp before
+/// calling tx_begin(). Unused (but harmless) under RTM.
+inline std::jmp_buf& checkpoint() { return softhtm::tls_tx().env; }
+
+unsigned char last_user_code();
+
+namespace detail {
+Backend probe_backend();
+#if defined(PTO_HAVE_RTM)
+/// Map an _xbegin status word to our unified codes.
+inline unsigned map_rtm_status(unsigned s) {
+  if (s & _XABORT_EXPLICIT) return TX_ABORT_EXPLICIT;
+  if (s & _XABORT_CONFLICT) return TX_ABORT_CONFLICT;
+  if (s & _XABORT_CAPACITY) return TX_ABORT_CAPACITY;
+  return TX_ABORT_OTHER;
+}
+extern thread_local unsigned char tls_rtm_user_code;
+#endif
+}  // namespace detail
+
+inline unsigned tx_begin() {
+#if defined(PTO_HAVE_RTM)
+  if (backend() == Backend::kRTM) {
+    unsigned s = _xbegin();
+    if (s == _XBEGIN_STARTED) return TX_STARTED;
+    if (s & _XABORT_EXPLICIT) {
+      detail::tls_rtm_user_code =
+          static_cast<unsigned char>(_XABORT_CODE(s));
+    }
+    return detail::map_rtm_status(s);
+  }
+#endif
+  return softhtm::begin();
+}
+
+inline void tx_end() {
+#if defined(PTO_HAVE_RTM)
+  if (backend() == Backend::kRTM) {
+    _xend();
+    return;
+  }
+#endif
+  softhtm::commit();
+}
+
+/// Explicitly abort the running transaction with user payload C.
+/// RTM requires the abort code to be an immediate, hence the template.
+template <unsigned char C>
+[[noreturn]] inline void tx_abort() {
+#if defined(PTO_HAVE_RTM)
+  if (backend() == Backend::kRTM) {
+    _xabort(C);
+    __builtin_unreachable();
+  }
+#endif
+  softhtm::abort_tx(TX_ABORT_EXPLICIT, C);
+}
+
+inline bool in_tx() {
+#if defined(PTO_HAVE_RTM)
+  if (backend() == Backend::kRTM) return _xtest() != 0;
+#endif
+  return softhtm::in_tx();
+}
+
+}  // namespace pto::htm

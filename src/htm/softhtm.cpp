@@ -1,0 +1,121 @@
+#include "htm/softhtm.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define PTO_CPU_RELAX() _mm_pause()
+#else
+#define PTO_CPU_RELAX() ((void)0)
+#endif
+
+namespace pto::softhtm {
+
+namespace {
+/// The global NOrec sequence lock. Even = quiescent, odd = a writer (a
+/// committing transaction or a non-transactional store) owns shared memory.
+alignas(kCacheLine) std::atomic<std::uint64_t> g_clock{0};
+thread_local Tx g_tx;
+thread_local unsigned char g_last_user_code = TX_CODE_NONE;
+}  // namespace
+
+Tx& tls_tx() { return g_tx; }
+std::atomic<std::uint64_t>& global_clock() { return g_clock; }
+unsigned char last_user_code() { return g_last_user_code; }
+
+namespace detail {
+
+std::uint64_t await_even_clock() {
+  for (;;) {
+    std::uint64_t c = g_clock.load(std::memory_order_seq_cst);
+    if ((c & 1) == 0) return c;
+    PTO_CPU_RELAX();
+  }
+}
+
+std::uint64_t lock_clock() {
+  for (;;) {
+    std::uint64_t c = g_clock.load(std::memory_order_seq_cst);
+    if ((c & 1) == 0 &&
+        g_clock.compare_exchange_weak(c, c + 1, std::memory_order_seq_cst)) {
+      return c;
+    }
+    PTO_CPU_RELAX();
+  }
+}
+
+void unlock_clock(std::uint64_t even_value) {
+  g_clock.store(even_value + 2, std::memory_order_seq_cst);
+}
+
+void validate_or_abort(Tx& tx) {
+  for (;;) {
+    std::uint64_t c = await_even_clock();
+    bool ok = true;
+    for (const LogEntry& e : tx.reads) {
+      if (e.rd(e.obj) != e.val) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) abort_tx(TX_ABORT_CONFLICT, TX_CODE_NONE);
+    if (g_clock.load(std::memory_order_seq_cst) == c) {
+      tx.snapshot = c;
+      return;
+    }
+  }
+}
+
+}  // namespace detail
+
+unsigned begin() {
+  Tx& tx = g_tx;
+  if (tx.active) {
+    ++tx.depth;  // flat nesting
+    return TX_STARTED;
+  }
+  tx.reads.clear();
+  tx.writes.clear();
+  tx.depth = 0;
+  tx.user_code = TX_CODE_NONE;
+  tx.snapshot = detail::await_even_clock();
+  tx.active = true;
+  return TX_STARTED;
+}
+
+void commit() {
+  Tx& tx = g_tx;
+  if (tx.depth > 0) {
+    --tx.depth;
+    return;
+  }
+  if (tx.writes.empty()) {
+    // Read-only transactions are already consistent at `snapshot`.
+    tx.active = false;
+    tx.reads.clear();
+    return;
+  }
+  auto& clock = global_clock();
+  std::uint64_t c = tx.snapshot;
+  while (!clock.compare_exchange_strong(c, c + 1, std::memory_order_seq_cst)) {
+    // Someone committed since our snapshot: re-validate, then retry from the
+    // validated clock value.
+    detail::validate_or_abort(tx);
+    c = tx.snapshot;
+  }
+  for (const LogEntry& e : tx.writes) e.wr(e.obj, e.val);
+  clock.store(c + 2, std::memory_order_seq_cst);
+  tx.active = false;
+  tx.reads.clear();
+  tx.writes.clear();
+}
+
+void abort_tx(unsigned cause, unsigned char user_code) {
+  Tx& tx = g_tx;
+  g_last_user_code = user_code;
+  tx.active = false;
+  tx.depth = 0;
+  tx.reads.clear();
+  tx.writes.clear();
+  std::longjmp(tx.env, static_cast<int>(cause));
+}
+
+}  // namespace pto::softhtm

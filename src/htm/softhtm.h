@@ -1,0 +1,196 @@
+// SoftHTM: a software stand-in for best-effort hardware transactional memory,
+// used on machines without working Intel TSX.
+//
+// Design: NOrec-style STM [Dalessandro et al., PPoPP'10] with one global
+// versioned sequence lock. Transactional reads are validated by value against
+// the global clock; writes are buffered and applied at commit while holding
+// the clock (odd = write-back in progress).
+//
+// Strong atomicity: the paper's PTO technique requires that transactions and
+// *non-transactional* lock-free code interoperate. SoftHTM achieves this by
+// routing every non-transactional access to shared `std::atomic` objects
+// through accessors that respect the same sequence lock: loads are
+// seqlock-stable reads, and stores/CAS/RMW briefly acquire the clock. This is
+// correct but serializes writers on one cache line, so SoftHTM is a
+// *correctness* substrate (tests, portability) — performance claims are only
+// made on real RTM or on the simulator, which both provide true strong
+// atomicity. Note also that the global lock technically weakens lock-freedom;
+// see DESIGN.md §2.
+//
+// Restrictions (same as real RTM): code inside a transaction must be
+// trivially unwindable — aborts longjmp to the checkpoint installed by
+// pto::prefix(), skipping destructors.
+#pragma once
+
+#include <atomic>
+#include <csetjmp>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+#include "common/bits.h"
+#include "common/defs.h"
+#include "htm/txcode.h"
+
+namespace pto::softhtm {
+
+using ReadFn = std::uint64_t (*)(const void*);
+using WriteFn = void (*)(void*, std::uint64_t);
+
+/// One logged access. `obj` points at a std::atomic<T>; `rd`/`wr` are the
+/// type-erased accessors for that T.
+struct LogEntry {
+  void* obj;
+  std::uint64_t val;
+  ReadFn rd;
+  WriteFn wr;
+};
+
+/// Per-thread transaction descriptor.
+struct Tx {
+  bool active = false;
+  int depth = 0;  ///< flat nesting depth beyond the outermost begin
+  std::uint64_t snapshot = 0;
+  unsigned char user_code = TX_CODE_NONE;
+  std::vector<LogEntry> reads;
+  std::vector<LogEntry> writes;
+  std::jmp_buf env;  ///< abort checkpoint, armed by pto::prefix()
+};
+
+Tx& tls_tx();
+std::atomic<std::uint64_t>& global_clock();
+
+/// Begin a transaction (or nest into the active one). Returns TX_STARTED.
+/// The caller must have armed tls_tx().env with setjmp *before* calling.
+unsigned begin();
+
+/// Commit the innermost begin; the outermost commit validates and writes back.
+void commit();
+
+/// Abort the active transaction: roll back buffered state and longjmp to the
+/// checkpoint with `cause`.
+[[noreturn]] void abort_tx(unsigned cause, unsigned char user_code);
+
+inline bool in_tx() { return tls_tx().active; }
+
+/// User payload of the last explicit abort on this thread.
+unsigned char last_user_code();
+
+namespace detail {
+
+template <class T>
+constexpr void check_type() {
+  static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8,
+                "SoftHTM atomics require trivially copyable T of <= 8 bytes");
+}
+
+template <class T>
+std::uint64_t erased_read(const void* p) {
+  return ::pto::widen<T>(
+      static_cast<const std::atomic<T>*>(p)->load(std::memory_order_seq_cst));
+}
+
+template <class T>
+void erased_write(void* p, std::uint64_t v) {
+  static_cast<std::atomic<T>*>(p)->store(::pto::narrow<T>(v),
+                                         std::memory_order_seq_cst);
+}
+
+/// Re-validate the read set until the clock is stable; abort on mismatch.
+/// On success, tx.snapshot equals the validated clock value.
+void validate_or_abort(Tx& tx);
+
+/// Spin until the clock is even (no write-back in progress); returns it.
+std::uint64_t await_even_clock();
+
+/// Acquire the clock as a writer lock (even -> odd). Returns the even value.
+std::uint64_t lock_clock();
+
+void unlock_clock(std::uint64_t even_value);
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Transactional accessors
+// ---------------------------------------------------------------------------
+
+template <class T>
+T tx_load(const std::atomic<T>& a) {
+  detail::check_type<T>();
+  Tx& tx = tls_tx();
+  // Read-own-writes: scan the write buffer newest-first.
+  for (auto it = tx.writes.rbegin(); it != tx.writes.rend(); ++it) {
+    if (it->obj == const_cast<std::atomic<T>*>(&a)) {
+      return ::pto::narrow<T>(it->val);
+    }
+  }
+  auto& clock = global_clock();
+  for (;;) {
+    T v = a.load(std::memory_order_seq_cst);
+    std::uint64_t c = clock.load(std::memory_order_seq_cst);
+    if (c == tx.snapshot) {
+      tx.reads.push_back({const_cast<std::atomic<T>*>(&a), ::pto::widen(v),
+                          &detail::erased_read<T>, nullptr});
+      return v;
+    }
+    detail::validate_or_abort(tx);  // extends snapshot or aborts
+  }
+}
+
+template <class T>
+void tx_store(std::atomic<T>& a, T v) {
+  detail::check_type<T>();
+  Tx& tx = tls_tx();
+  for (auto& e : tx.writes) {
+    if (e.obj == &a) {
+      e.val = ::pto::widen(v);
+      return;
+    }
+  }
+  tx.writes.push_back({&a, ::pto::widen(v), nullptr, &detail::erased_write<T>});
+}
+
+// ---------------------------------------------------------------------------
+// Strongly-atomic non-transactional accessors
+// ---------------------------------------------------------------------------
+
+template <class T>
+T nt_load(const std::atomic<T>& a) {
+  detail::check_type<T>();
+  auto& clock = global_clock();
+  for (;;) {
+    std::uint64_t c1 = detail::await_even_clock();
+    T v = a.load(std::memory_order_seq_cst);
+    if (clock.load(std::memory_order_seq_cst) == c1) return v;
+  }
+}
+
+template <class T>
+void nt_store(std::atomic<T>& a, T v) {
+  detail::check_type<T>();
+  std::uint64_t c = detail::lock_clock();
+  a.store(v, std::memory_order_seq_cst);
+  detail::unlock_clock(c);
+}
+
+template <class T>
+bool nt_cas(std::atomic<T>& a, T& expected, T desired) {
+  detail::check_type<T>();
+  std::uint64_t c = detail::lock_clock();
+  bool ok = a.compare_exchange_strong(expected, desired,
+                                      std::memory_order_seq_cst);
+  detail::unlock_clock(c);
+  return ok;
+}
+
+template <class T>
+T nt_fetch_add(std::atomic<T>& a, T delta) {
+  detail::check_type<T>();
+  std::uint64_t c = detail::lock_clock();
+  T old = a.fetch_add(delta, std::memory_order_seq_cst);
+  detail::unlock_clock(c);
+  return old;
+}
+
+}  // namespace pto::softhtm

@@ -1,0 +1,52 @@
+// Unified transaction status codes shared by every HTM backend (Intel RTM,
+// the software fallback, and the simulator's HTM model).
+//
+// A `tx_begin` attempt either starts (TX_STARTED) or reports why the previous
+// attempt aborted. The nonzero codes double as longjmp payloads for the
+// software backends, so TX_STARTED must be 0 (setjmp's direct-return value).
+#pragma once
+
+namespace pto {
+
+/// Returned by Platform::tx_begin when the transaction is running.
+inline constexpr unsigned TX_STARTED = 0u;
+
+/// Abort causes. Values are stable across backends so PrefixStats histograms
+/// are comparable between native and simulated runs.
+enum TxAbort : unsigned {
+  TX_ABORT_CONFLICT = 1,  ///< data conflict with a concurrent thread
+  TX_ABORT_CAPACITY = 2,  ///< read/write set exceeded hardware capacity
+  TX_ABORT_EXPLICIT = 3,  ///< tx_abort<code>() executed by the program
+  TX_ABORT_DURATION = 4,  ///< transaction ran longer than a scheduler quantum
+  TX_ABORT_SPURIOUS = 5,  ///< injected/spontaneous abort (testing, interrupts)
+  TX_ABORT_OTHER = 6,     ///< anything else (unsupported instruction, ...)
+};
+
+/// Number of distinct status values (for stats arrays indexed by code).
+inline constexpr unsigned kTxCodeCount = 7;
+
+/// Human-readable name for a status code.
+constexpr const char* tx_code_name(unsigned code) {
+  switch (code) {
+    case TX_STARTED: return "started";
+    case TX_ABORT_CONFLICT: return "conflict";
+    case TX_ABORT_CAPACITY: return "capacity";
+    case TX_ABORT_EXPLICIT: return "explicit";
+    case TX_ABORT_DURATION: return "duration";
+    case TX_ABORT_SPURIOUS: return "spurious";
+    default: return "other";
+  }
+}
+
+/// Explicit-abort user payloads. The paper's §2.4 uses explicit aborts when a
+/// prefix transaction observes a state that would require helping; we reserve
+/// distinct codes so stats can distinguish policy aborts from validation
+/// failures.
+enum TxUserCode : unsigned char {
+  TX_CODE_NONE = 0,
+  TX_CODE_HELPING = 1,     ///< observed a concurrent operation's descriptor
+  TX_CODE_VALIDATION = 2,  ///< optimistic snapshot no longer valid
+  TX_CODE_POLICY = 3,      ///< algorithm chose fallback (capacity hint, ...)
+};
+
+}  // namespace pto

@@ -1,0 +1,22 @@
+#include "platform/native_platform.h"
+
+#include <chrono>
+
+#include "common/rng.h"
+
+namespace pto {
+
+namespace {
+thread_local SplitMix64 tls_rng = [] {
+  static std::atomic<std::uint64_t> counter{0x5eed};
+  return SplitMix64(counter.fetch_add(0x9E3779B97F4A7C15ull) ^
+                    static_cast<std::uint64_t>(
+                        std::chrono::steady_clock::now()
+                            .time_since_epoch()
+                            .count()));
+}();
+}  // namespace
+
+std::uint64_t NativePlatform::rnd() { return tls_rng.next(); }
+
+}  // namespace pto

@@ -1,0 +1,41 @@
+// The Platform policy: the single template parameter every data structure,
+// the epoch reclaimer, and the kcas substrate are written against.
+//
+// A Platform provides:
+//   - atomic<T>         instrumented atomic cell (load/store/CAS/fetch_add)
+//   - fence()           seq_cst fence (elided inside transactions)
+//   - tx_begin/tx_end/tx_abort<code>/in_tx/tx_checkpoint
+//   - strongly_atomic() whether tx vs non-tx interaction is safe enough to
+//                       elide epoch reservations inside transactions
+//   - make<T>/destroy<T>, alloc_bytes/free_bytes
+//   - rnd(), pause()
+//
+// Two models exist: NativePlatform (std::atomic + RTM or SoftHTM) and
+// SimPlatform (the simulated multicore). Transactional code must be
+// longjmp-safe: no non-trivially-destructible locals live across a tx body.
+#pragma once
+
+#include <atomic>
+#include <concepts>
+#include <csetjmp>
+#include <cstdint>
+
+namespace pto {
+
+template <class P>
+concept Platform = requires(unsigned char code) {
+  typename P::template atomic<int>;
+  { P::fence() } -> std::same_as<void>;
+  { P::tx_begin() } -> std::convertible_to<unsigned>;
+  { P::tx_end() } -> std::same_as<void>;
+  { P::in_tx() } -> std::convertible_to<bool>;
+  { P::strongly_atomic() } -> std::convertible_to<bool>;
+  { P::rnd() } -> std::convertible_to<std::uint64_t>;
+  { P::pause() } -> std::same_as<void>;
+};
+
+/// Convenience alias: Atom<P, T> is P's instrumented atomic<T>.
+template <class P, class T>
+using Atom = typename P::template atomic<T>;
+
+}  // namespace pto

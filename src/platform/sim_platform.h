@@ -1,0 +1,93 @@
+// SimPlatform: Platform implementation backed by the simulated multicore.
+// All operations are valid only on a virtual thread (inside sim::run).
+#pragma once
+
+#include <atomic>
+#include <csetjmp>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/bits.h"
+#include "sim/sim.h"
+
+namespace pto {
+
+struct SimPlatform {
+  template <class T>
+  class atomic {
+   public:
+    atomic() : v_{} {}
+    explicit atomic(T v) : v_(v) {}
+    atomic(const atomic&) = delete;
+    atomic& operator=(const atomic&) = delete;
+
+    T load(std::memory_order = std::memory_order_seq_cst) const {
+      return narrow<T>(sim::mem_load(&v_, sizeof(T)));
+    }
+
+    /// seq_cst stores pay the fence cost (x86 XCHG); weaker orders do not.
+    /// Inside a transaction the fence is elided automatically.
+    void store(T v, std::memory_order mo = std::memory_order_seq_cst) {
+      sim::mem_store(&v_, sizeof(T), widen(v));
+      if (mo == std::memory_order_seq_cst) sim::fence();
+    }
+
+    bool compare_exchange_strong(
+        T& expected, T desired,
+        std::memory_order = std::memory_order_seq_cst) {
+      std::uint64_t e = widen(expected);
+      bool ok = sim::mem_cas(&v_, sizeof(T), e, widen(desired));
+      if (!ok) expected = narrow<T>(e);
+      return ok;
+    }
+
+    T fetch_add(T delta, std::memory_order = std::memory_order_seq_cst)
+      requires std::is_integral_v<T>
+    {
+      return narrow<T>(
+          sim::mem_fetch_add(&v_, sizeof(T), widen(delta)));
+    }
+
+    /// Uninstrumented initialization, for constructing objects before they
+    /// are published (costs nothing, participates in no conflict detection).
+    void init(T v) { v_ = v; }
+
+   private:
+    T v_;
+  };
+
+  static void fence() { sim::fence(); }
+
+  static unsigned tx_begin() { return sim::tx_begin(); }
+  static void tx_end() { sim::tx_end(); }
+  template <unsigned char C>
+  [[noreturn]] static void tx_abort() {
+    sim::tx_abort(C);
+  }
+  static bool in_tx() { return sim::in_tx(); }
+  static std::jmp_buf& tx_checkpoint() { return sim::tx_checkpoint(); }
+  static unsigned char last_user_code() { return sim::last_user_code(); }
+  static bool strongly_atomic() { return true; }
+
+  static std::uint64_t rnd() { return sim::rnd(); }
+  static void pause() { sim::cpu_pause(); }
+
+  template <class T, class... A>
+  static T* make(A&&... args) {
+    void* p = sim::alloc(sizeof(T));
+    return ::new (p) T(std::forward<A>(args)...);
+  }
+
+  template <class T>
+  static void destroy(T* p) {
+    p->~T();
+    sim::dealloc(p, sizeof(T));
+  }
+
+  static void* alloc_bytes(std::size_t n) { return sim::alloc(n); }
+  static void free_bytes(void* p, std::size_t n) { sim::dealloc(p, n); }
+};
+
+}  // namespace pto

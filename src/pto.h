@@ -1,0 +1,31 @@
+// Umbrella header: the whole PTO library.
+//
+//   #include "pto.h"
+//
+// pulls in the prefix-transaction core, both platforms (native + simulated),
+// both reclamation schemes, the multi-word CAS substrate, and every data
+// structure. Individual headers remain independently includable; prefer them
+// in translation units that only need one structure.
+#pragma once
+
+#include "core/prefix.h"              // prefix(), PrefixPolicy, PrefixStats
+#include "htm/htm.h"                  // native HTM facade (RTM / SoftHTM)
+#include "htm/txcode.h"               // TX_STARTED, abort causes
+#include "platform/native_platform.h" // NativePlatform
+#include "platform/platform.h"        // Platform concept, Atom<P, T>
+#include "platform/sim_platform.h"    // SimPlatform
+#include "sim/sim.h"                  // the simulated multicore
+#include "reclaim/epoch.h"            // EpochDomain
+#include "reclaim/hazard.h"           // HazardDomain
+#include "kcas/kcas.h"                // MCAS / DCAS / DCSS (+ PTO wrappers)
+
+#include "ds/bst/ellen_bst.h"         // EllenBST: LF, PTO1, PTO2, PTO1+PTO2
+#include "ds/hashtable/fset_hash.h"   // FSetHash: CoW, PTO, PTO+Inplace
+#include "ds/list/harris_list.h"      // HarrisList: LF, PTO
+#include "ds/mindicator/mindicator.h" // Mindicator: LF, PTO, TLE
+#include "ds/mound/mound.h"           // Mound: LF, PTO (DCAS-local)
+#include "ds/queue/ms_queue.h"        // MSQueue: LF, PTO
+#include "ds/skiplist/skiplist.h"     // SkipList: LF, PTO
+#include "ds/skiplist/skipqueue.h"    // SkipQueue: LF, PTO
+#include "ds/ptoset/pto_array_set.h"  // PTOArraySet: the §5 PTO-first design
+#include "ds/tle/tle.h"               // generic TLE + SeqHashSet

@@ -1,0 +1,80 @@
+// Arena allocator with line-aligned carving and quarantined frees.
+#include "sim/runtime_internal.h"
+
+#include <cstring>
+
+namespace pto::sim::internal {
+
+void* Arena::allocate(std::size_t bytes) {
+  // Round to whole cache lines so distinct allocations never share a line
+  // (keeps conflict detection per-object and makes freed-line tracking exact).
+  bytes = (bytes + kCacheLine - 1) & ~(kCacheLine - 1);
+  if (left_ < bytes) {
+    std::size_t chunk = bytes > kChunk ? bytes + kCacheLine : kChunk;
+    chunks_.emplace_back(new char[chunk + kCacheLine]);
+    auto base = reinterpret_cast<std::uintptr_t>(chunks_.back().get());
+    auto aligned = (base + kCacheLine - 1) & ~(kCacheLine - 1);
+    cur_ = reinterpret_cast<char*>(aligned);
+    left_ = chunk;
+  }
+  void* p = cur_;
+  cur_ += bytes;
+  left_ -= bytes;
+  return p;
+}
+
+void* Runtime::do_alloc(std::size_t bytes) {
+  check_doom();
+  VThread& t = me();
+  ++t.stats.allocs;
+  // Thread-cached allocator model: the fast path costs cost.alloc; every
+  // kTcacheRefill-th allocation refills from the shared arena, modeled as an
+  // RMW on a global word — concurrent refills pay coherence misses, and a
+  // refill inside a transaction adds the word to the write set (the reason
+  // malloc-heavy transactions conflict — paper §4.5).
+  if (++t.alloc_tick % kTcacheRefill == 0) {
+    std::uint64_t unused = do_fetch_add(&g_mem.alloc_word, 8, 1);
+    (void)unused;
+  }
+  void* p = g_mem.arena.allocate(bytes);
+  charge(cfg.cost.alloc);
+  check_doom();
+  return p;
+}
+
+void Runtime::do_dealloc(void* p, std::size_t bytes) {
+  check_doom();
+  VThread& t = me();
+  // Library convention: transactions never free (PTO fast paths retire after
+  // commit; fallbacks retire through epochs, outside transactions).
+  assert(!t.tx.active && "dealloc inside a transaction is not supported");
+  ++t.stats.frees;
+  if (++t.alloc_tick % kTcacheRefill == 0) {
+    std::uint64_t unused = do_fetch_add(&g_mem.alloc_word, 8, 1);
+    (void)unused;
+  }
+  auto first = reinterpret_cast<std::uintptr_t>(p) / kCacheLine;
+  auto last = (reinterpret_cast<std::uintptr_t>(p) + (bytes ? bytes - 1 : 0)) /
+              kCacheLine;
+  for (auto la = first; la <= last; ++la) {
+    LineState& L = g_mem.lines[la];
+    // Freeing is a write: any transaction still holding the line is the
+    // victim (this is what makes epoch elision inside transactions safe).
+    if (L.tx_writer != kNobody && L.tx_writer != cur) {
+      doom(L.tx_writer, TX_ABORT_CONFLICT);
+    }
+    std::uint64_t victims = L.tx_readers & ~bit(cur);
+    while (victims != 0) {
+      unsigned v = static_cast<unsigned>(__builtin_ctzll(victims));
+      victims &= victims - 1;
+      doom(v, TX_ABORT_CONFLICT);
+    }
+    L.freed = true;
+    L.sharers = bit(cur);
+  }
+  if (cfg.trap_use_after_free) std::memset(p, 0xDD, bytes);
+  charge(cfg.cost.dealloc);
+  check_doom();
+}
+
+}  // namespace pto::sim::internal

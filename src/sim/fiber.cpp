@@ -1,0 +1,29 @@
+#include "sim/fiber.h"
+
+#include <cstdint>
+#include <cstdlib>
+
+namespace pto::sim {
+
+void Fiber::trampoline(unsigned hi, unsigned lo) {
+  auto ptr = (static_cast<std::uintptr_t>(hi) << 32) |
+             static_cast<std::uintptr_t>(lo);
+  auto* self = reinterpret_cast<Fiber*>(ptr);
+  self->fn_();
+  // Returning lets ucontext resume ctx_.uc_link (the scheduler).
+}
+
+Fiber::Fiber(std::size_t stack_bytes, std::function<void()> fn,
+             ucontext_t* return_to)
+    : stack_(new char[stack_bytes]), fn_(std::move(fn)) {
+  if (getcontext(&ctx_) != 0) std::abort();
+  ctx_.uc_stack.ss_sp = stack_.get();
+  ctx_.uc_stack.ss_size = stack_bytes;
+  ctx_.uc_link = return_to;
+  auto ptr = reinterpret_cast<std::uintptr_t>(this);
+  makecontext(&ctx_, reinterpret_cast<void (*)()>(&trampoline), 2,
+              static_cast<unsigned>(ptr >> 32),
+              static_cast<unsigned>(ptr & 0xFFFFFFFFu));
+}
+
+}  // namespace pto::sim

@@ -1,0 +1,33 @@
+// Minimal ucontext-based fiber. The simulator multiplexes all virtual
+// threads on the single host thread, switching only at instrumented points,
+// so no host synchronization is required.
+#pragma once
+
+#include <ucontext.h>
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace pto::sim {
+
+class Fiber {
+ public:
+  /// Creates a fiber that will execute `fn` when first switched to and
+  /// resume `return_to` when fn returns.
+  Fiber(std::size_t stack_bytes, std::function<void()> fn,
+        ucontext_t* return_to);
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  ucontext_t* context() { return &ctx_; }
+
+ private:
+  static void trampoline(unsigned hi, unsigned lo);
+
+  ucontext_t ctx_{};
+  std::unique_ptr<char[]> stack_;
+  std::function<void()> fn_;
+};
+
+}  // namespace pto::sim

@@ -1,0 +1,144 @@
+// Best-effort HTM model: flat nesting, in-place writes with an undo log,
+// requester-wins conflict resolution, capacity/duration/spurious aborts.
+#include "sim/runtime_internal.h"
+
+namespace pto::sim::internal {
+
+void Runtime::release_tx_footprint(TxDesc& tx, unsigned tid) {
+  for (std::uintptr_t l : tx.rlines) {
+    auto it = g_mem.lines.find(l);
+    if (it != g_mem.lines.end()) it->second.tx_readers &= ~bit(tid);
+  }
+  for (std::uintptr_t l : tx.wlines) {
+    auto it = g_mem.lines.find(l);
+    if (it != g_mem.lines.end() && it->second.tx_writer == tid) {
+      it->second.tx_writer = kNobody;
+    }
+  }
+  tx.rlines.clear();
+  tx.wlines.clear();
+  tx.undo.clear();
+}
+
+void Runtime::doom(unsigned victim, unsigned cause) {
+  VThread& vt = threads[victim];
+  TxDesc& tx = vt.tx;
+  assert(tx.active && !tx.doomed && victim != cur);
+  // Roll back in-place writes so the requester (and everyone else) observes
+  // pre-transaction state immediately.
+  for (auto it = tx.undo.rbegin(); it != tx.undo.rend(); ++it) {
+    raw_write(it->addr, it->size, it->old_val);
+  }
+  release_tx_footprint(tx, victim);
+  tx.doomed = true;
+  tx.doom_cause = cause;
+  vt.clock += cfg.cost.tx_abort_penalty;
+  vt.stats.tx_aborts[cause]++;
+}
+
+void Runtime::check_doom() {
+  VThread& t = me();
+  if (PTO_LIKELY(!t.tx.doomed)) return;
+  TxDesc& tx = t.tx;
+  unsigned cause = tx.doom_cause;
+  tx.doomed = false;
+  tx.active = false;
+  tx.depth = 0;
+  std::longjmp(tx.env, static_cast<int>(cause));
+}
+
+void Runtime::self_abort(unsigned cause, unsigned char user_code) {
+  VThread& t = me();
+  TxDesc& tx = t.tx;
+  assert(tx.active && !tx.doomed);
+  for (auto it = tx.undo.rbegin(); it != tx.undo.rend(); ++it) {
+    raw_write(it->addr, it->size, it->old_val);
+  }
+  release_tx_footprint(tx, cur);
+  t.last_user_code = user_code;
+  t.stats.tx_aborts[cause]++;
+  t.clock += cfg.cost.tx_abort_penalty;
+  tx.active = false;
+  tx.depth = 0;
+  std::longjmp(tx.env, static_cast<int>(cause));
+}
+
+void Runtime::tx_access_checks() {
+  VThread& t = me();
+  if (t.clock - t.tx.start > cfg.htm.max_duration) {
+    self_abort(TX_ABORT_DURATION, TX_CODE_NONE);
+  }
+  if (PTO_UNLIKELY(cfg.htm.spurious_abort_prob > 0.0)) {
+    // Deterministic per-thread coin flip.
+    double u = static_cast<double>(t.rng.next() >> 11) * 0x1.0p-53;
+    if (u < cfg.htm.spurious_abort_prob) {
+      self_abort(TX_ABORT_SPURIOUS, TX_CODE_NONE);
+    }
+  }
+}
+
+}  // namespace pto::sim::internal
+
+namespace pto::sim {
+
+using namespace internal;
+
+unsigned tx_begin() {
+  // Outside a simulation there is no HTM: report a non-retryable abort so
+  // prefix() immediately runs the fallback (host-side setup code).
+  if (g_rt == nullptr) return TX_ABORT_OTHER;
+  Runtime& rt = *g_rt;
+  VThread& t = rt.me();
+  if (t.tx.active) {
+    ++t.tx.depth;
+    return TX_STARTED;
+  }
+  rt.charge(rt.cfg.cost.tx_begin);
+  // Cannot be doomed here: tx was not active while we were switched out.
+  TxDesc& tx = t.tx;
+  tx.active = true;
+  tx.doomed = false;
+  tx.start = t.clock;
+  tx.user_code = TX_CODE_NONE;
+  t.stats.tx_started++;
+  return TX_STARTED;
+}
+
+void tx_end() {
+  Runtime& rt = *g_rt;
+  VThread& t = rt.me();
+  TxDesc& tx = t.tx;
+  assert(tx.active);
+  if (tx.depth > 0) {
+    --tx.depth;
+    return;
+  }
+  // Between the last instrumented access and here only thread-local
+  // computation ran, so the tx cannot have been doomed.
+  assert(!tx.doomed);
+  rt.release_tx_footprint(tx, rt.cur);
+  tx.active = false;
+  t.stats.tx_commits++;
+  rt.charge(rt.cfg.cost.tx_commit);
+}
+
+void tx_abort(unsigned char user_code) {
+  Runtime& rt = *g_rt;
+  assert(rt.me().tx.active);
+  rt.self_abort(TX_ABORT_EXPLICIT, user_code);
+}
+
+bool in_tx() { return g_rt != nullptr && g_rt->me().tx.active; }
+
+std::jmp_buf& tx_checkpoint() {
+  if (g_rt) return g_rt->me().tx.env;
+  static std::jmp_buf dummy;  // armed but never longjmp'd outside a sim
+  return dummy;
+}
+
+unsigned char last_user_code() {
+  if (g_rt == nullptr) return TX_CODE_NONE;
+  return g_rt->me().last_user_code;
+}
+
+}  // namespace pto::sim

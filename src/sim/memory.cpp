@@ -1,0 +1,208 @@
+// Line-granular memory hooks: cost charging, MESI-ish sharer tracking, HTM
+// conflict detection (requester-wins, strong atomicity), undo logging.
+#include "sim/runtime_internal.h"
+
+#include <cstring>
+
+namespace pto::sim::internal {
+
+std::uint64_t raw_read(const void* addr, unsigned size) {
+  std::uint64_t v = 0;
+  std::memcpy(&v, addr, size);
+  return v;
+}
+
+void raw_write(void* addr, unsigned size, std::uint64_t val) {
+  std::memcpy(addr, &val, size);
+}
+
+namespace {
+
+std::uintptr_t line_addr(const void* addr) {
+  return reinterpret_cast<std::uintptr_t>(addr) / kCacheLine;
+}
+
+/// Doom every transactional reader of L other than `self`.
+void doom_other_readers(Runtime& rt, LineState& L, unsigned self) {
+  std::uint64_t victims = L.tx_readers & ~bit(self);
+  while (victims != 0) {
+    unsigned v = static_cast<unsigned>(__builtin_ctzll(victims));
+    victims &= victims - 1;
+    rt.doom(v, TX_ABORT_CONFLICT);
+  }
+}
+
+void doom_other_writer(Runtime& rt, LineState& L, unsigned self) {
+  if (L.tx_writer != kNobody && L.tx_writer != self) {
+    rt.doom(L.tx_writer, TX_ABORT_CONFLICT);
+  }
+}
+
+/// Register a transactional read of the line; capacity-aborts if the read
+/// set is full.
+void tx_track_read(Runtime& rt, LineState& L, std::uintptr_t la) {
+  VThread& t = rt.me();
+  if (L.tx_readers & bit(rt.cur)) return;
+  if (t.tx.rlines.size() >= rt.cfg.htm.max_read_lines) {
+    rt.self_abort(TX_ABORT_CAPACITY, TX_CODE_NONE);
+  }
+  L.tx_readers |= bit(rt.cur);
+  t.tx.rlines.push_back(la);
+}
+
+void tx_track_write(Runtime& rt, LineState& L, std::uintptr_t la) {
+  VThread& t = rt.me();
+  if (L.tx_writer == rt.cur) return;
+  if (t.tx.wlines.size() >= rt.cfg.htm.max_write_lines) {
+    rt.self_abort(TX_ABORT_CAPACITY, TX_CODE_NONE);
+  }
+  L.tx_writer = rt.cur;
+  t.tx.wlines.push_back(la);
+}
+
+}  // namespace
+
+std::uint64_t Runtime::do_load(const void* addr, unsigned size) {
+  check_doom();
+  VThread& t = me();
+  LineState& L = line_of(addr);
+  if (PTO_UNLIKELY(L.freed)) ++g_mem.uaf_count;
+  std::uint64_t cost = cfg.cost.load_hit;
+  if (!(L.sharers & bit(cur))) {
+    cost += cfg.cost.coherence_miss;
+    L.sharers |= bit(cur);
+  }
+  if (t.tx.active) {
+    tx_access_checks();
+    doom_other_writer(*this, L, cur);  // requester wins
+    tx_track_read(*this, L, line_addr(addr));
+  } else {
+    // Strong atomicity: a non-transactional read of a transactionally
+    // written line aborts the transaction (Intel requester-wins, paper §4.3).
+    doom_other_writer(*this, L, cur);
+  }
+  ++t.stats.loads;
+  std::uint64_t v = raw_read(addr, size);
+  charge(cost);
+  check_doom();  // doomed while yielded => value invalid; longjmps
+  return v;
+}
+
+void Runtime::do_store(void* addr, unsigned size, std::uint64_t val) {
+  check_doom();
+  VThread& t = me();
+  LineState& L = line_of(addr);
+  if (PTO_UNLIKELY(L.freed)) ++g_mem.uaf_count;
+  std::uint64_t cost = cfg.cost.store_hit;
+  if (L.sharers & ~bit(cur)) cost += cfg.cost.coherence_miss;
+  L.sharers = bit(cur);
+  if (t.tx.active) {
+    tx_access_checks();
+    doom_other_writer(*this, L, cur);
+    doom_other_readers(*this, L, cur);
+    tx_track_write(*this, L, line_addr(addr));
+    t.tx.undo.push_back({addr, size, raw_read(addr, size)});
+  } else {
+    doom_other_writer(*this, L, cur);
+    doom_other_readers(*this, L, cur);
+  }
+  ++t.stats.stores;
+  raw_write(addr, size, val);
+  charge(cost);
+  check_doom();
+}
+
+bool Runtime::do_cas(void* addr, unsigned size, std::uint64_t& expected,
+                     std::uint64_t desired) {
+  check_doom();
+  VThread& t = me();
+  LineState& L = line_of(addr);
+  if (PTO_UNLIKELY(L.freed)) ++g_mem.uaf_count;
+  std::uint64_t la = line_addr(addr);
+  bool ok;
+  std::uint64_t cost;
+  if (t.tx.active) {
+    // Inside a transaction a CAS degenerates to load + branch + store
+    // (paper §2.3, "Eliminating Synchronization").
+    tx_access_checks();
+    doom_other_writer(*this, L, cur);
+    tx_track_read(*this, L, la);
+    std::uint64_t curv = raw_read(addr, size);
+    ok = (curv == expected);
+    if (ok) {
+      doom_other_readers(*this, L, cur);
+      tx_track_write(*this, L, la);
+      t.tx.undo.push_back({addr, size, curv});
+      raw_write(addr, size, desired);
+      cost = cfg.cost.load_hit + cfg.cost.store_hit;
+    } else {
+      expected = curv;
+      cost = cfg.cost.load_hit;
+    }
+    if (!(L.sharers & bit(cur))) cost += cfg.cost.coherence_miss;
+    L.sharers |= bit(cur);
+  } else {
+    // A CAS takes the line exclusive whether or not it succeeds.
+    doom_other_writer(*this, L, cur);
+    doom_other_readers(*this, L, cur);
+    cost = cfg.cost.cas;
+    if (L.sharers & ~bit(cur)) cost += cfg.cost.coherence_miss;
+    L.sharers = bit(cur);
+    std::uint64_t curv = raw_read(addr, size);
+    ok = (curv == expected);
+    if (ok) {
+      raw_write(addr, size, desired);
+    } else {
+      expected = curv;
+    }
+  }
+  ++t.stats.cas_ops;
+  charge(cost);
+  check_doom();
+  return ok;
+}
+
+std::uint64_t Runtime::do_fetch_add(void* addr, unsigned size,
+                                    std::uint64_t delta) {
+  check_doom();
+  VThread& t = me();
+  LineState& L = line_of(addr);
+  if (PTO_UNLIKELY(L.freed)) ++g_mem.uaf_count;
+  std::uint64_t la = line_addr(addr);
+  std::uint64_t cost;
+  if (t.tx.active) {
+    tx_access_checks();
+    doom_other_writer(*this, L, cur);
+    doom_other_readers(*this, L, cur);
+    tx_track_read(*this, L, la);
+    tx_track_write(*this, L, la);
+    t.tx.undo.push_back({addr, size, raw_read(addr, size)});
+    cost = cfg.cost.load_hit + cfg.cost.store_hit;
+  } else {
+    doom_other_writer(*this, L, cur);
+    doom_other_readers(*this, L, cur);
+    cost = cfg.cost.cas;
+  }
+  if (L.sharers & ~bit(cur)) cost += cfg.cost.coherence_miss;
+  L.sharers = bit(cur);
+  std::uint64_t old = raw_read(addr, size);
+  raw_write(addr, size, old + delta);
+  ++t.stats.rmws;
+  charge(cost);
+  check_doom();
+  return old;
+}
+
+void Runtime::do_fence() {
+  check_doom();
+  VThread& t = me();
+  if (t.tx.active && !cfg.fences_in_tx) {
+    ++t.stats.fences_elided;
+    return;
+  }
+  ++t.stats.fences;
+  charge(cfg.cost.fence);
+  check_doom();
+}
+
+}  // namespace pto::sim::internal

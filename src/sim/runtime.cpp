@@ -1,0 +1,185 @@
+// Runtime construction, the public run() entry point, and thin hook wrappers.
+#include "sim/runtime_internal.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace pto::sim {
+
+namespace internal {
+
+Runtime* g_rt = nullptr;
+GlobalMemory g_mem;
+
+Runtime::Runtime(unsigned nthreads, const Config& c)
+    : cfg(c), threads(nthreads) {
+  for (unsigned i = 0; i < nthreads; ++i) {
+    threads[i].rng.reseed(c.seed * 0x9E3779B97F4A7C15ull + i + 1);
+  }
+}
+
+}  // namespace internal
+
+using namespace internal;
+
+void ThreadStats::accumulate(const ThreadStats& o) {
+  loads += o.loads;
+  stores += o.stores;
+  cas_ops += o.cas_ops;
+  rmws += o.rmws;
+  fences += o.fences;
+  fences_elided += o.fences_elided;
+  allocs += o.allocs;
+  frees += o.frees;
+  tx_started += o.tx_started;
+  tx_commits += o.tx_commits;
+  for (unsigned i = 0; i < kTxCodeCount; ++i) tx_aborts[i] += o.tx_aborts[i];
+  ops_completed += o.ops_completed;
+}
+
+std::uint64_t RunResult::makespan() const {
+  std::uint64_t m = 0;
+  for (auto c : clocks) m = std::max(m, c);
+  return m;
+}
+
+ThreadStats RunResult::totals() const {
+  ThreadStats t;
+  for (const auto& s : stats) t.accumulate(s);
+  return t;
+}
+
+double RunResult::ops_per_msec() const {
+  std::uint64_t ms = makespan();
+  if (ms == 0) return 0.0;
+  // 3.4 GHz, the paper's i7-4770: 3.4e6 cycles per millisecond.
+  return static_cast<double>(totals().ops_completed) /
+         (static_cast<double>(ms) / 3.4e6);
+}
+
+RunResult run(unsigned nthreads, const Config& cfg,
+              const std::function<void(unsigned)>& body) {
+  if (nthreads == 0 || nthreads > kMaxThreads) {
+    throw std::invalid_argument("sim::run: thread count out of range");
+  }
+  if (g_rt != nullptr) {
+    throw std::logic_error("sim::run: nested simulations are not supported");
+  }
+  Runtime rt(nthreads, cfg);
+  const std::uint64_t uaf_before = g_mem.uaf_count;
+  g_rt = &rt;
+  for (unsigned i = 0; i < nthreads; ++i) {
+    rt.threads[i].fiber = std::make_unique<Fiber>(
+        kFiberStack,
+        [i, &body, &rt] {
+          body(i);
+          rt.threads[i].done = true;
+        },
+        &rt.main_ctx);
+  }
+  rt.dispatch_loop();
+  g_rt = nullptr;
+
+  RunResult res;
+  res.uaf_count = g_mem.uaf_count - uaf_before;
+  for (auto& t : rt.threads) {
+    res.stats.push_back(t.stats);
+    res.clocks.push_back(t.clock);
+  }
+  return res;
+}
+
+bool active() { return g_rt != nullptr; }
+unsigned thread_id() { return g_rt ? g_rt->cur : 0; }
+unsigned num_threads() {
+  return g_rt ? static_cast<unsigned>(g_rt->threads.size()) : 1;
+}
+std::uint64_t now() { return g_rt ? g_rt->me().clock : 0; }
+
+std::uint64_t rnd() {
+  if (g_rt) return g_rt->me().rng.next();
+  static SplitMix64 host_rng(0xF1C5EEDull);  // host-side setup code
+  return host_rng.next();
+}
+
+void op_done(std::uint64_t n) {
+  if (g_rt == nullptr) return;
+  g_rt->me().stats.ops_completed += n;
+  g_rt->charge(n * g_rt->cfg.cost.bench_op_overhead);
+  g_rt->check_doom();
+}
+
+void cpu_pause() {
+  if (!g_rt) return;
+  g_rt->charge(g_rt->cfg.cost.pause);
+  g_rt->check_doom();
+}
+
+// Outside a simulation (fixture setup/teardown on the host), memory hooks
+// degrade to raw accesses: no costs, no conflicts, no stats — but frees still
+// poison lines so a later in-simulation use-after-free is caught.
+
+std::uint64_t mem_load(const void* addr, unsigned size) {
+  if (g_rt) return g_rt->do_load(addr, size);
+  return raw_read(addr, size);
+}
+void mem_store(void* addr, unsigned size, std::uint64_t val) {
+  if (g_rt) {
+    g_rt->do_store(addr, size, val);
+    return;
+  }
+  raw_write(addr, size, val);
+}
+bool mem_cas(void* addr, unsigned size, std::uint64_t& expected,
+             std::uint64_t desired) {
+  if (g_rt) return g_rt->do_cas(addr, size, expected, desired);
+  std::uint64_t cur = raw_read(addr, size);
+  if (cur == expected) {
+    raw_write(addr, size, desired);
+    return true;
+  }
+  expected = cur;
+  return false;
+}
+std::uint64_t mem_fetch_add(void* addr, unsigned size, std::uint64_t delta) {
+  if (g_rt) return g_rt->do_fetch_add(addr, size, delta);
+  std::uint64_t old = raw_read(addr, size);
+  raw_write(addr, size, old + delta);
+  return old;
+}
+void fence() {
+  if (g_rt) g_rt->do_fence();
+}
+
+void* alloc(std::size_t bytes) {
+  if (g_rt) return g_rt->do_alloc(bytes);
+  return g_mem.arena.allocate(bytes);
+}
+
+void dealloc(void* p, std::size_t bytes) {
+  if (g_rt) {
+    g_rt->do_dealloc(p, bytes);
+    return;
+  }
+  auto first = reinterpret_cast<std::uintptr_t>(p) / kCacheLine;
+  auto last =
+      (reinterpret_cast<std::uintptr_t>(p) + (bytes ? bytes - 1 : 0)) /
+      kCacheLine;
+  for (auto la = first; la <= last; ++la) {
+    LineState& L = g_mem.lines[la];
+    L.freed = true;
+    L.sharers = 0;
+  }
+  std::memset(p, 0xDD, bytes);
+}
+
+void reset_memory() {
+  assert(g_rt == nullptr && "reset_memory during a simulation");
+  g_mem.lines.clear();
+  g_mem.arena.reset();
+  g_mem.alloc_word = 0;
+}
+
+std::uint64_t uaf_count() { return g_mem.uaf_count; }
+
+}  // namespace pto::sim

@@ -1,0 +1,151 @@
+// Internal state of the simulator runtime, shared by runtime.cpp,
+// scheduler.cpp, memory.cpp, htm_model.cpp and allocator.cpp. Not part of the
+// public API — include sim/sim.h instead.
+#pragma once
+
+#include <csetjmp>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/defs.h"
+#include "common/rng.h"
+#include "sim/fiber.h"
+#include "sim/sim.h"
+
+namespace pto::sim::internal {
+
+inline constexpr unsigned kNobody = 0xFFFFFFFFu;
+inline constexpr std::size_t kFiberStack = 512 * 1024;
+
+inline std::uint64_t bit(unsigned tid) { return std::uint64_t{1} << tid; }
+
+struct LineState {
+  std::uint64_t sharers = 0;       ///< threads with this line "cached"
+  std::uint64_t tx_readers = 0;    ///< txs with this line in their read set
+  unsigned tx_writer = kNobody;    ///< at most one tx writer (requester-wins)
+  bool freed = false;
+};
+
+struct UndoEntry {
+  void* addr;
+  unsigned size;
+  std::uint64_t old_val;
+};
+
+struct TxDesc {
+  bool active = false;
+  bool doomed = false;
+  int depth = 0;  ///< flat-nesting depth beyond outermost begin
+  unsigned doom_cause = 0;
+  unsigned char user_code = TX_CODE_NONE;
+  std::uint64_t start = 0;
+  std::jmp_buf env;
+  std::vector<UndoEntry> undo;
+  std::vector<std::uintptr_t> rlines;
+  std::vector<std::uintptr_t> wlines;
+};
+
+struct VThread {
+  std::unique_ptr<Fiber> fiber;
+  std::uint64_t clock = 0;
+  bool done = false;
+  TxDesc tx;
+  SplitMix64 rng;
+  ThreadStats stats;
+  unsigned char last_user_code = TX_CODE_NONE;
+  /// Thread-cache model (glibc tcache / tcmalloc): only every
+  /// kTcacheRefill-th allocation touches the shared allocator word.
+  unsigned alloc_tick = 0;
+};
+
+inline constexpr unsigned kTcacheRefill = 64;
+
+/// Simple bump arena; never reuses memory within a run, so freed lines stay
+/// poisoned and use-after-free is detectable.
+class Arena {
+ public:
+  void* allocate(std::size_t bytes);
+  void reset() {
+    chunks_.clear();
+    cur_ = nullptr;
+    left_ = 0;
+  }
+
+ private:
+  static constexpr std::size_t kChunk = 4u << 20;
+  std::vector<std::unique_ptr<char[]>> chunks_;
+  char* cur_ = nullptr;
+  std::size_t left_ = 0;
+};
+
+/// Process-global memory state. Global (not per-run) so that benchmark
+/// fixtures built outside sim::run() — or across a setup run and a measure
+/// run — stay valid; sim::reset_memory() reclaims everything between
+/// measurement points.
+struct GlobalMemory {
+  std::unordered_map<std::uintptr_t, LineState> lines;
+  Arena arena;
+  std::uint64_t uaf_count = 0;
+  /// Shared allocator-metadata word: every alloc/free RMWs it through the
+  /// normal coherence/conflict machinery, modeling allocator contention (and
+  /// the real-world hazard that malloc inside a transaction conflicts).
+  std::uint64_t alloc_word = 0;
+
+  LineState& line_of(const void* addr) {
+    return lines[reinterpret_cast<std::uintptr_t>(addr) / kCacheLine];
+  }
+};
+
+extern GlobalMemory g_mem;
+
+class Runtime {
+ public:
+  Runtime(unsigned nthreads, const Config& cfg);
+
+  Config cfg;
+  std::vector<VThread> threads;
+  unsigned cur = 0;
+  ucontext_t main_ctx{};
+
+  VThread& me() { return threads[cur]; }
+  LineState& line_of(const void* addr) { return g_mem.line_of(addr); }
+
+  // scheduler.cpp
+  void dispatch_loop();
+  /// Charge `cost` cycles to the current thread and yield if another
+  /// runnable thread is now strictly behind.
+  void charge(std::uint64_t cost);
+
+  // htm_model.cpp
+  /// Roll back and doom the transaction of `victim` (requester wins).
+  void doom(unsigned victim, unsigned cause);
+  /// Abort the *current* thread's transaction and longjmp out. Never returns.
+  [[noreturn]] void self_abort(unsigned cause, unsigned char user_code);
+  /// If the current thread's tx was doomed while it was switched out,
+  /// finish the abort (longjmp). Call at hook entry and after any charge().
+  void check_doom();
+  /// Clear per-line registrations and the undo log of thread `t`'s tx.
+  void release_tx_footprint(TxDesc& tx, unsigned tid);
+  void tx_access_checks();  ///< duration + spurious aborts for current tx
+
+  // memory.cpp — hook bodies (public wrappers in sim.h forward here)
+  std::uint64_t do_load(const void* addr, unsigned size);
+  void do_store(void* addr, unsigned size, std::uint64_t val);
+  bool do_cas(void* addr, unsigned size, std::uint64_t& expected,
+              std::uint64_t desired);
+  std::uint64_t do_fetch_add(void* addr, unsigned size, std::uint64_t delta);
+  void do_fence();
+
+  // allocator.cpp
+  void* do_alloc(std::size_t bytes);
+  void do_dealloc(void* p, std::size_t bytes);
+};
+
+extern Runtime* g_rt;
+
+std::uint64_t raw_read(const void* addr, unsigned size);
+void raw_write(void* addr, unsigned size, std::uint64_t val);
+
+}  // namespace pto::sim::internal

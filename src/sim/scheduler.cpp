@@ -1,0 +1,47 @@
+// Min-virtual-clock dispatch: the runnable thread with the smallest clock
+// executes next. Ties break toward the lowest index, making runs a pure
+// function of the configuration — no host-level nondeterminism leaks in.
+#include "sim/runtime_internal.h"
+
+namespace pto::sim::internal {
+
+namespace {
+
+/// Index of the runnable thread with minimum clock, or kNobody.
+unsigned min_clock_thread(const std::vector<VThread>& ts) {
+  unsigned best = kNobody;
+  std::uint64_t best_clock = ~std::uint64_t{0};
+  for (unsigned i = 0; i < ts.size(); ++i) {
+    if (!ts[i].done && ts[i].clock < best_clock) {
+      best = i;
+      best_clock = ts[i].clock;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+void Runtime::dispatch_loop() {
+  for (;;) {
+    unsigned next = min_clock_thread(threads);
+    if (next == kNobody) return;  // all virtual threads finished
+    cur = next;
+    swapcontext(&main_ctx, threads[next].fiber->context());
+  }
+}
+
+void Runtime::charge(std::uint64_t cost) {
+  VThread& t = me();
+  t.clock += cost;
+  // Yield if some other runnable thread is now strictly behind us; the
+  // dispatcher will pick it (or us again, if we remain the minimum).
+  for (unsigned i = 0; i < threads.size(); ++i) {
+    if (i != cur && !threads[i].done && threads[i].clock < t.clock) {
+      swapcontext(t.fiber->context(), &main_ctx);
+      return;
+    }
+  }
+}
+
+}  // namespace pto::sim::internal

@@ -1,0 +1,171 @@
+// A linearizability checker for set histories recorded on the simulator.
+//
+// The simulator gives every operation real-time bounds on one global virtual
+// clock (invocation and response instants), so a recorded concurrent history
+// is checkable offline: the structure is linearizable on this history iff
+// there exists a total order of the operations that (a) respects real-time
+// precedence (A before B whenever A.ret < B.inv) and (b) is a legal
+// sequential set execution producing exactly the recorded results.
+//
+// For sets, operations on distinct keys commute and their results are
+// independent, so the history decomposes per key and each sub-history is
+// checked against a single-bool automaton (present/absent) — the classic
+// Wing & Gong search with memoization on (completed-mask, state), kept
+// tractable by the decomposition (sub-histories of <= 64 operations).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/sim.h"
+
+namespace pto::testutil {
+
+enum class SetOpKind : std::uint8_t { kContains, kInsert, kRemove };
+
+struct SetOp {
+  SetOpKind kind;
+  std::int64_t key;
+  bool result;
+  std::uint64_t inv;  ///< virtual time at invocation
+  std::uint64_t ret;  ///< virtual time at response
+};
+
+namespace detail {
+
+struct KeyOp {
+  SetOpKind kind;
+  bool result;
+  std::uint64_t inv, ret;
+};
+
+/// DFS with memoization over (mask of linearized ops, current presence).
+/// Returns true iff some real-time-respecting order explains the results.
+class KeyChecker {
+ public:
+  explicit KeyChecker(std::vector<KeyOp> ops) : ops_(std::move(ops)) {}
+
+  bool check() {
+    if (ops_.size() > 64) return false;  // caller must keep histories small
+    return dfs(0, false);
+  }
+
+  std::uint64_t states_visited() const { return seen_.size(); }
+
+ private:
+  bool dfs(std::uint64_t done_mask, bool present) {
+    if (done_mask == (std::uint64_t{1} << ops_.size()) - 1) return true;
+    std::uint64_t memo_key = (done_mask << 1) | (present ? 1 : 0);
+    if (!seen_.insert(memo_key).second) return false;
+
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+      if (done_mask & (std::uint64_t{1} << i)) continue;
+      // Real-time order: i may linearize next only if no other pending op
+      // completed strictly before i was invoked.
+      bool minimal = true;
+      for (std::size_t j = 0; j < ops_.size(); ++j) {
+        if (j == i || (done_mask & (std::uint64_t{1} << j))) continue;
+        if (ops_[j].ret < ops_[i].inv) {
+          minimal = false;
+          break;
+        }
+      }
+      if (!minimal) continue;
+
+      bool next_present = present;
+      if (!legal(ops_[i], present, &next_present)) continue;
+      if (dfs(done_mask | (std::uint64_t{1} << i), next_present)) return true;
+    }
+    return false;
+  }
+
+  static bool legal(const KeyOp& op, bool present, bool* next) {
+    switch (op.kind) {
+      case SetOpKind::kContains:
+        *next = present;
+        return op.result == present;
+      case SetOpKind::kInsert:
+        if (op.result) {
+          if (present) return false;
+          *next = true;
+          return true;
+        }
+        *next = present;
+        return present;  // failed insert implies the key was present
+      case SetOpKind::kRemove:
+        if (op.result) {
+          if (!present) return false;
+          *next = false;
+          return true;
+        }
+        *next = present;
+        return !present;  // failed remove implies the key was absent
+    }
+    return false;
+  }
+
+  std::vector<KeyOp> ops_;
+  std::unordered_set<std::uint64_t> seen_;
+};
+
+}  // namespace detail
+
+struct LinCheckResult {
+  bool linearizable = true;
+  std::int64_t failing_key = 0;
+  std::size_t keys_checked = 0;
+  std::size_t largest_subhistory = 0;
+};
+
+/// Check a recorded set history, per key. The structure must start empty.
+inline LinCheckResult check_set_linearizability(
+    const std::vector<SetOp>& history) {
+  std::map<std::int64_t, std::vector<detail::KeyOp>> by_key;
+  for (const SetOp& op : history) {
+    by_key[op.key].push_back({op.kind, op.result, op.inv, op.ret});
+  }
+  LinCheckResult r;
+  r.keys_checked = by_key.size();
+  for (auto& [key, ops] : by_key) {
+    r.largest_subhistory = std::max(r.largest_subhistory, ops.size());
+    detail::KeyChecker checker(std::move(ops));
+    if (!checker.check()) {
+      r.linearizable = false;
+      r.failing_key = key;
+      return r;
+    }
+  }
+  return r;
+}
+
+/// Per-thread history recorder (plain memory: fibers are host-serialized).
+class HistoryRecorder {
+ public:
+  explicit HistoryRecorder(unsigned threads) : per_thread_(threads) {}
+
+  /// Wraps one operation: records inv/ret around fn().
+  template <class Fn>
+  bool record(unsigned tid, SetOpKind kind, std::int64_t key, Fn&& fn) {
+    std::uint64_t inv = sim::now();
+    bool result = fn();
+    std::uint64_t ret = sim::now();
+    per_thread_[tid].push_back({kind, key, result, inv, ret});
+    return result;
+  }
+
+  std::vector<SetOp> merged() const {
+    std::vector<SetOp> all;
+    for (const auto& v : per_thread_) {
+      all.insert(all.end(), v.begin(), v.end());
+    }
+    return all;
+  }
+
+ private:
+  std::vector<std::vector<SetOp>> per_thread_;
+};
+
+}  // namespace pto::testutil

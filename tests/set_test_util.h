@@ -1,0 +1,98 @@
+// Generic test drivers for set-like structures (skiplist, BST, hash table).
+//
+// An Adapter wraps one data structure and exposes:
+//   using Mode = ...;               // algorithm variant selector
+//   using Ctx = ...;                // per-thread context
+//   Ctx make_ctx();
+//   bool insert(Ctx&, Mode, std::int64_t key);
+//   bool remove(Ctx&, Mode, std::int64_t key);
+//   bool contains(Ctx&, Mode, std::int64_t key);
+//   bool check_invariants();        // quiescent structural checks
+//   std::size_t size_slow();
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/sim.h"
+
+namespace pto::testutil {
+
+/// Random insert/remove/lookup sequence checked against std::set, run
+/// outside any simulation (host mode: hooks degrade to raw accesses).
+template <class Adapter>
+void sequential_model_check(Adapter& a, typename Adapter::Mode mode,
+                            int range, int steps, std::uint64_t seed) {
+  auto ctx = a.make_ctx();
+  std::set<std::int64_t> model;
+  SplitMix64 rng(seed);
+  for (int i = 0; i < steps; ++i) {
+    std::int64_t k = static_cast<std::int64_t>(rng.next_below(range));
+    unsigned action = rng.next_percent();
+    if (action < 40) {
+      ASSERT_EQ(a.insert(ctx, mode, k), model.insert(k).second)
+          << "step " << i << " insert " << k;
+    } else if (action < 80) {
+      ASSERT_EQ(a.remove(ctx, mode, k), model.erase(k) == 1)
+          << "step " << i << " remove " << k;
+    } else {
+      ASSERT_EQ(a.contains(ctx, mode, k), model.count(k) == 1)
+          << "step " << i << " contains " << k;
+    }
+  }
+  EXPECT_EQ(a.size_slow(), model.size());
+  EXPECT_TRUE(a.check_invariants());
+  for (std::int64_t k = 0; k < range; ++k) {
+    ASSERT_EQ(a.contains(ctx, mode, k), model.count(k) == 1) << "final " << k;
+  }
+}
+
+/// Deterministic concurrent run on the simulator. Correctness criterion:
+/// per key, successful inserts and removes must strictly alternate (starting
+/// with an insert), so sum(ins_ok - rem_ok) is 0 or 1 and must equal the
+/// key's final membership. Any atomicity violation (lost update, double
+/// insert) breaks this.
+template <class Adapter>
+void concurrent_consistency(Adapter& a, typename Adapter::Mode mode,
+                            unsigned threads, int range, int ops,
+                            std::uint64_t seed, unsigned lookup_pct = 20) {
+  std::vector<std::vector<int>> net(threads, std::vector<int>(range, 0));
+  sim::Config cfg;
+  cfg.seed = seed;
+  auto res = sim::run(threads, cfg, [&](unsigned tid) {
+    auto ctx = a.make_ctx();
+    for (int i = 0; i < ops; ++i) {
+      auto k = static_cast<std::int64_t>(sim::rnd() % range);
+      unsigned action = static_cast<unsigned>(sim::rnd() % 100);
+      if (action < lookup_pct) {
+        (void)a.contains(ctx, mode, k);
+      } else if (action < lookup_pct + (100 - lookup_pct) / 2) {
+        if (a.insert(ctx, mode, k)) ++net[tid][static_cast<std::size_t>(k)];
+      } else {
+        if (a.remove(ctx, mode, k)) --net[tid][static_cast<std::size_t>(k)];
+      }
+    }
+  });
+  EXPECT_EQ(res.uaf_count, 0u) << "use-after-free detected";
+
+  auto ctx = a.make_ctx();
+  std::size_t present = 0;
+  for (int k = 0; k < range; ++k) {
+    int total = 0;
+    for (unsigned t = 0; t < threads; ++t) total += net[t][static_cast<std::size_t>(k)];
+    ASSERT_TRUE(total == 0 || total == 1)
+        << "key " << k << " net " << total
+        << ": successful ops did not alternate";
+    bool in = a.contains(ctx, mode, static_cast<std::int64_t>(k));
+    ASSERT_EQ(in, total == 1) << "key " << k;
+    present += static_cast<std::size_t>(total);
+  }
+  EXPECT_EQ(a.size_slow(), present);
+  EXPECT_TRUE(a.check_invariants());
+}
+
+}  // namespace pto::testutil

@@ -1,0 +1,38 @@
+// Shared helpers for simulator-based tests.
+#pragma once
+
+#include <cstdint>
+
+#include "platform/platform.h"
+#include "platform/sim_platform.h"
+
+namespace pto::testutil {
+
+/// Sense-counting barrier over instrumented atomics; usable by virtual
+/// threads inside sim::run.
+template <class P>
+class Barrier {
+ public:
+  explicit Barrier(unsigned parties) : parties_(parties) { word_.init(0); }
+
+  void wait() {
+    std::uint64_t w = word_.fetch_add(1) + 1;
+    auto gen = static_cast<std::uint32_t>(w >> 32);
+    if (static_cast<std::uint32_t>(w) == parties_) {
+      // Last arriver: bump generation, reset count.
+      word_.store(static_cast<std::uint64_t>(gen + 1) << 32);
+    } else {
+      while (static_cast<std::uint32_t>(word_.load() >> 32) == gen) {
+        P::pause();
+      }
+    }
+  }
+
+ private:
+  unsigned parties_;
+  Atom<P, std::uint64_t> word_;
+};
+
+using SimBarrier = Barrier<SimPlatform>;
+
+}  // namespace pto::testutil

@@ -1,0 +1,260 @@
+// Linearizability checking: first the checker itself (accepts/rejects
+// hand-built histories), then real recorded histories from every set
+// structure under deterministic concurrency, in every PTO mode.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "ds/bst/ellen_bst.h"
+#include "ds/hashtable/fset_hash.h"
+#include "ds/list/harris_list.h"
+#include "ds/skiplist/skiplist.h"
+#include "linearizability.h"
+#include "platform/sim_platform.h"
+#include "sim/sim.h"
+
+namespace {
+
+using pto::SimPlatform;
+namespace tu = pto::testutil;
+using tu::SetOp;
+using tu::SetOpKind;
+
+// ---------------------------------------------------------------------------
+// Checker self-tests
+// ---------------------------------------------------------------------------
+
+TEST(LinChecker, AcceptsSequentialHistory) {
+  std::vector<SetOp> h = {
+      {SetOpKind::kInsert, 1, true, 0, 10},
+      {SetOpKind::kContains, 1, true, 20, 30},
+      {SetOpKind::kRemove, 1, true, 40, 50},
+      {SetOpKind::kContains, 1, false, 60, 70},
+  };
+  EXPECT_TRUE(tu::check_set_linearizability(h).linearizable);
+}
+
+TEST(LinChecker, RejectsDoubleInsert) {
+  // Two successful inserts of the same key, strictly ordered, no remove
+  // between them: impossible for a set.
+  std::vector<SetOp> h = {
+      {SetOpKind::kInsert, 1, true, 0, 10},
+      {SetOpKind::kInsert, 1, true, 20, 30},
+  };
+  EXPECT_FALSE(tu::check_set_linearizability(h).linearizable);
+}
+
+TEST(LinChecker, AcceptsConcurrentInsertsOneWins) {
+  // Overlapping inserts: one true, one false — fine in either order... the
+  // false one must come second; both orders are allowed by timing.
+  std::vector<SetOp> h = {
+      {SetOpKind::kInsert, 1, true, 0, 100},
+      {SetOpKind::kInsert, 1, false, 50, 90},
+  };
+  EXPECT_TRUE(tu::check_set_linearizability(h).linearizable);
+}
+
+TEST(LinChecker, RejectsStaleRead) {
+  // Insert completed long before the contains started, nothing removed it:
+  // contains=false cannot be linearized.
+  std::vector<SetOp> h = {
+      {SetOpKind::kInsert, 7, true, 0, 10},
+      {SetOpKind::kContains, 7, false, 50, 60},
+  };
+  EXPECT_FALSE(tu::check_set_linearizability(h).linearizable);
+}
+
+TEST(LinChecker, AcceptsReadOverlappingRemove) {
+  // The contains overlaps the remove: both answers are legal; false here.
+  std::vector<SetOp> h = {
+      {SetOpKind::kInsert, 7, true, 0, 10},
+      {SetOpKind::kRemove, 7, true, 20, 60},
+      {SetOpKind::kContains, 7, false, 30, 40},
+  };
+  EXPECT_TRUE(tu::check_set_linearizability(h).linearizable);
+}
+
+TEST(LinChecker, RejectsFailedRemoveWhilePresent) {
+  std::vector<SetOp> h = {
+      {SetOpKind::kInsert, 3, true, 0, 10},
+      {SetOpKind::kRemove, 3, false, 20, 30},
+      {SetOpKind::kRemove, 3, true, 40, 50},
+  };
+  EXPECT_FALSE(tu::check_set_linearizability(h).linearizable);
+}
+
+TEST(LinChecker, KeysAreIndependent) {
+  std::vector<SetOp> h = {
+      {SetOpKind::kInsert, 1, true, 0, 10},
+      {SetOpKind::kInsert, 2, true, 5, 15},
+      {SetOpKind::kContains, 1, true, 20, 25},
+      {SetOpKind::kContains, 2, true, 20, 25},
+      {SetOpKind::kRemove, 1, true, 30, 35},
+      {SetOpKind::kContains, 2, true, 40, 45},
+  };
+  auto r = tu::check_set_linearizability(h);
+  EXPECT_TRUE(r.linearizable);
+  EXPECT_EQ(r.keys_checked, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Recorded histories from the real structures
+// ---------------------------------------------------------------------------
+
+/// Run `threads` workers over adapter ops, recording a history, and check it.
+template <class DoOp>
+void record_and_check(unsigned threads, int range, int ops_per_thread,
+                      std::uint64_t seed, DoOp&& do_op) {
+  tu::HistoryRecorder rec(threads);
+  pto::sim::Config cfg;
+  cfg.seed = seed;
+  auto res = pto::sim::run(threads, cfg, [&](unsigned tid) {
+    for (int i = 0; i < ops_per_thread; ++i) {
+      auto k = static_cast<std::int64_t>(pto::sim::rnd() % range);
+      auto c = static_cast<unsigned>(pto::sim::rnd() % 100);
+      SetOpKind kind = c < 30   ? SetOpKind::kContains
+                       : c < 65 ? SetOpKind::kInsert
+                                : SetOpKind::kRemove;
+      rec.record(tid, kind, k, [&] { return do_op(tid, kind, k); });
+    }
+  });
+  ASSERT_EQ(res.uaf_count, 0u);
+  auto r = tu::check_set_linearizability(rec.merged());
+  EXPECT_TRUE(r.linearizable)
+      << "history not linearizable at key " << r.failing_key;
+  // Keep the per-key sub-histories within the checker's 64-op window.
+  ASSERT_LE(r.largest_subhistory, 64u);
+}
+
+class SkiplistLin
+    : public ::testing::TestWithParam<std::tuple<bool, int, int>> {};
+
+TEST_P(SkiplistLin, RecordedHistoryLinearizable) {
+  auto [pto_mode, threads, seed] = GetParam();
+  pto::SkipList<SimPlatform> s;
+  std::vector<typename pto::SkipList<SimPlatform>::ThreadCtx> ctxs;
+  for (int t = 0; t < threads; ++t) ctxs.push_back(s.make_ctx());
+  record_and_check(
+      static_cast<unsigned>(threads), 24, 80,
+      static_cast<std::uint64_t>(seed),
+      [&](unsigned tid, SetOpKind kind, std::int64_t k) {
+        auto& ctx = ctxs[tid];
+        switch (kind) {
+          case SetOpKind::kContains: return s.contains(ctx, k);
+          case SetOpKind::kInsert:
+            return pto_mode ? s.insert_pto(ctx, k) : s.insert_lf(ctx, k);
+          default:
+            return pto_mode ? s.remove_pto(ctx, k) : s.remove_lf(ctx, k);
+        }
+      });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SkiplistLin,
+    ::testing::Combine(::testing::Bool(), ::testing::Values(3, 6),
+                       ::testing::Values(1, 2, 3)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param) ? "pto" : "lf") + "_t" +
+             std::to_string(std::get<1>(info.param)) + "_s" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+const char* const kBstModeNames[] = {"lf", "pto1", "pto2", "pto12"};
+const char* const kHashModeNames[] = {"lf", "pto", "inplace"};
+
+class BstLin : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(BstLin, RecordedHistoryLinearizable) {
+  auto [mode_i, threads, seed] = GetParam();
+  auto mode = static_cast<pto::EllenBST<SimPlatform>::Mode>(mode_i);
+  pto::EllenBST<SimPlatform> s;
+  std::vector<typename pto::EllenBST<SimPlatform>::ThreadCtx> ctxs;
+  for (int t = 0; t < threads; ++t) ctxs.push_back(s.make_ctx());
+  record_and_check(
+      static_cast<unsigned>(threads), 24, 80,
+      static_cast<std::uint64_t>(seed),
+      [&](unsigned tid, SetOpKind kind, std::int64_t k) {
+        auto& ctx = ctxs[tid];
+        switch (kind) {
+          case SetOpKind::kContains: return s.contains(ctx, k, mode);
+          case SetOpKind::kInsert: return s.insert(ctx, k, mode);
+          default: return s.remove(ctx, k, mode);
+        }
+      });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BstLin,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),  // LF/PTO1/PTO2/PTO12
+                       ::testing::Values(4, 8), ::testing::Values(1, 2)),
+    [](const auto& info) {
+      return std::string(kBstModeNames[std::get<0>(info.param)]) + "_t" +
+             std::to_string(std::get<1>(info.param)) + "_s" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+class HashLin : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(HashLin, RecordedHistoryLinearizable) {
+  auto [mode_i, threads, seed] = GetParam();
+  auto mode = static_cast<pto::FSetHash<SimPlatform>::Mode>(mode_i);
+  pto::FSetHash<SimPlatform> s;
+  std::vector<typename pto::FSetHash<SimPlatform>::ThreadCtx> ctxs;
+  for (int t = 0; t < threads; ++t) ctxs.push_back(s.make_ctx());
+  record_and_check(
+      static_cast<unsigned>(threads), 24, 80,
+      static_cast<std::uint64_t>(seed),
+      [&](unsigned tid, SetOpKind kind, std::int64_t k) {
+        auto& ctx = ctxs[tid];
+        switch (kind) {
+          case SetOpKind::kContains: return s.contains(ctx, k, mode);
+          case SetOpKind::kInsert: return s.insert(ctx, k, mode);
+          default: return s.remove(ctx, k, mode);
+        }
+      });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HashLin,
+    ::testing::Combine(::testing::Values(0, 1, 2),  // LF/PTO/Inplace
+                       ::testing::Values(4, 8), ::testing::Values(1, 2)),
+    [](const auto& info) {
+      return std::string(kHashModeNames[std::get<0>(info.param)]) + "_t" +
+             std::to_string(std::get<1>(info.param)) + "_s" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+class ListLin : public ::testing::TestWithParam<std::tuple<bool, int, int>> {};
+
+TEST_P(ListLin, RecordedHistoryLinearizable) {
+  auto [pto_mode, threads, seed] = GetParam();
+  pto::HarrisList<SimPlatform> s;
+  std::vector<typename pto::HarrisList<SimPlatform>::ThreadCtx> ctxs;
+  for (int t = 0; t < threads; ++t) ctxs.push_back(s.make_ctx());
+  record_and_check(
+      static_cast<unsigned>(threads), 16, 80,
+      static_cast<std::uint64_t>(seed),
+      [&](unsigned tid, SetOpKind kind, std::int64_t k) {
+        auto& ctx = ctxs[tid];
+        switch (kind) {
+          case SetOpKind::kContains:
+            return pto_mode ? s.contains_pto(ctx, k) : s.contains_lf(ctx, k);
+          case SetOpKind::kInsert:
+            return pto_mode ? s.insert_pto(ctx, k) : s.insert_lf(ctx, k);
+          default:
+            return pto_mode ? s.remove_pto(ctx, k) : s.remove_lf(ctx, k);
+        }
+      });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ListLin,
+    ::testing::Combine(::testing::Bool(), ::testing::Values(3, 6),
+                       ::testing::Values(1, 2, 3)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param) ? "pto" : "lf") + "_t" +
+             std::to_string(std::get<1>(info.param)) + "_s" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+}  // namespace

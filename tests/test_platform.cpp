@@ -1,0 +1,127 @@
+// Platform conformance: the same typed test battery runs against
+// NativePlatform and SimPlatform, pinning down the semantics every data
+// structure relies on (atomics, CAS failure reporting, allocation, fences,
+// rnd, strong-atomicity flags).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+
+#include "platform/native_platform.h"
+#include "platform/platform.h"
+#include "platform/sim_platform.h"
+#include "sim/sim.h"
+
+namespace {
+
+using pto::Atom;
+
+template <class P>
+class PlatformConformance : public ::testing::Test {};
+
+using Platforms = ::testing::Types<pto::NativePlatform, pto::SimPlatform>;
+TYPED_TEST_SUITE(PlatformConformance, Platforms);
+
+TYPED_TEST(PlatformConformance, SatisfiesConcept) {
+  static_assert(pto::Platform<TypeParam>);
+}
+
+TYPED_TEST(PlatformConformance, LoadStoreRoundTrip) {
+  Atom<TypeParam, std::uint64_t> a;
+  a.init(0);
+  a.store(42);
+  EXPECT_EQ(a.load(), 42u);
+  a.store(7, std::memory_order_relaxed);
+  EXPECT_EQ(a.load(std::memory_order_acquire), 7u);
+}
+
+TYPED_TEST(PlatformConformance, PointerAtomics) {
+  int x = 1, y = 2;
+  Atom<TypeParam, int*> p;
+  p.init(&x);
+  int* expect = &x;
+  EXPECT_TRUE(p.compare_exchange_strong(expect, &y));
+  EXPECT_EQ(p.load(), &y);
+}
+
+TYPED_TEST(PlatformConformance, CasFailureReportsObservedValue) {
+  Atom<TypeParam, int> a;
+  a.init(10);
+  int expect = 5;
+  EXPECT_FALSE(a.compare_exchange_strong(expect, 99));
+  EXPECT_EQ(expect, 10);
+  EXPECT_EQ(a.load(), 10);
+  EXPECT_TRUE(a.compare_exchange_strong(expect, 99));
+  EXPECT_EQ(a.load(), 99);
+}
+
+TYPED_TEST(PlatformConformance, FetchAddReturnsOld) {
+  Atom<TypeParam, std::uint32_t> a;
+  a.init(5);
+  EXPECT_EQ(a.fetch_add(3), 5u);
+  EXPECT_EQ(a.load(), 8u);
+  // Wrap-around is modular.
+  a.store(~std::uint32_t{0});
+  EXPECT_EQ(a.fetch_add(1), ~std::uint32_t{0});
+  EXPECT_EQ(a.load(), 0u);
+}
+
+TYPED_TEST(PlatformConformance, SmallTypes) {
+  Atom<TypeParam, std::uint8_t> b;
+  b.init(200);
+  EXPECT_EQ(b.fetch_add(100), 200u);  // wraps to 44
+  EXPECT_EQ(b.load(), 44u);
+  Atom<TypeParam, std::int16_t> s;
+  s.init(-5);
+  EXPECT_EQ(s.load(), -5);
+}
+
+TYPED_TEST(PlatformConformance, MakeDestroyRoundTrip) {
+  struct Obj {
+    int a = 3;
+    double b = 2.5;
+  };
+  Obj* o = TypeParam::template make<Obj>();
+  EXPECT_EQ(o->a, 3);
+  EXPECT_EQ(o->b, 2.5);
+  TypeParam::template destroy<Obj>(o);
+}
+
+TYPED_TEST(PlatformConformance, AllocBytesAligned) {
+  // Data-structure word packing needs at least 8-byte alignment; the sim
+  // arena gives cache-line alignment.
+  for (std::size_t n : {1u, 8u, 63u, 64u, 200u}) {
+    void* p = TypeParam::alloc_bytes(n);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 8, 0u);
+    TypeParam::free_bytes(p, n);
+  }
+}
+
+TYPED_TEST(PlatformConformance, RndVaries) {
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 64; ++i) seen.insert(TypeParam::rnd());
+  EXPECT_GT(seen.size(), 32u);
+}
+
+TYPED_TEST(PlatformConformance, NotInTxByDefault) {
+  EXPECT_FALSE(TypeParam::in_tx());
+  TypeParam::fence();  // must be callable anywhere
+  TypeParam::pause();
+}
+
+TEST(SimPlatformSpecifics, StrongAtomicityAdvertised) {
+  EXPECT_TRUE(pto::SimPlatform::strongly_atomic());
+}
+
+TEST(SimPlatformSpecifics, SimAtomicsAreInstrumentedInsideRuns) {
+  Atom<pto::SimPlatform, int> a;
+  a.init(0);
+  auto res = pto::sim::run(1, {}, [&](unsigned) {
+    for (int i = 0; i < 10; ++i) a.fetch_add(1);
+    for (int i = 0; i < 5; ++i) (void)a.load();
+  });
+  EXPECT_EQ(res.totals().rmws, 10u);
+  EXPECT_EQ(res.totals().loads, 5u);
+}
+
+}  // namespace

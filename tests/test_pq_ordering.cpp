@@ -1,0 +1,199 @@
+// Priority-queue ordering semantics under concurrency, for both the Mound
+// and the SkipQueue: in a pop-only phase the global linearization of
+// extract-min calls yields an ascending value sequence, so every thread's
+// *local* pop subsequence must ascend too — a property plain value
+// conservation cannot catch (it would accept popping max-first).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+#include "ds/mound/mound.h"
+#include "ds/skiplist/skipqueue.h"
+#include "platform/sim_platform.h"
+#include "sim/sim.h"
+#include "sim_util.h"
+
+namespace {
+
+using pto::Mound;
+using pto::SimPlatform;
+using pto::SkipQueue;
+
+enum class Mode { kLf, kPto };
+const char* mode_name(Mode m) { return m == Mode::kLf ? "lf" : "pto"; }
+
+class MoundPhased : public ::testing::TestWithParam<std::tuple<Mode, int>> {};
+
+TEST_P(MoundPhased, PopOnlyPhaseAscendsPerThread) {
+  auto [mode, seed] = GetParam();
+  constexpr unsigned kThreads = 6;
+  constexpr int kPerThread = 150;
+  Mound<SimPlatform> q(12);
+  pto::testutil::SimBarrier bar(kThreads);
+  std::vector<std::vector<std::int32_t>> pops(kThreads);
+  std::multiset<std::int32_t> pushed_all;  // filled pre-run, host side
+
+  pto::sim::Config cfg;
+  cfg.seed = static_cast<std::uint64_t>(seed);
+  auto res = pto::sim::run(kThreads, cfg, [&](unsigned tid) {
+    auto ctx = q.make_ctx();
+    // Phase 1: concurrent pushes.
+    for (int i = 0; i < kPerThread; ++i) {
+      auto v = static_cast<std::int32_t>(pto::sim::rnd() % 100000);
+      if (mode == Mode::kLf) {
+        q.insert_lf(ctx, v);
+      } else {
+        q.insert_pto(ctx, v);
+      }
+      pops[tid].push_back(-1);  // placeholder keeps vectors warm
+    }
+    pops[tid].clear();
+    bar.wait();
+    // Phase 2: pop-only. Each thread's sequence must ascend.
+    for (;;) {
+      auto got = (mode == Mode::kLf) ? q.extract_min_lf(ctx)
+                                     : q.extract_min_pto(ctx);
+      if (!got.has_value()) break;
+      pops[tid].push_back(*got);
+    }
+  });
+  EXPECT_EQ(res.uaf_count, 0u);
+
+  std::size_t total = 0;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    for (std::size_t i = 1; i < pops[t].size(); ++i) {
+      ASSERT_LE(pops[t][i - 1], pops[t][i])
+          << "thread " << t << " popped out of order at index " << i;
+    }
+    total += pops[t].size();
+  }
+  EXPECT_EQ(total, kThreads * kPerThread);
+  EXPECT_EQ(q.size_slow(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MoundPhased,
+                         ::testing::Combine(::testing::Values(Mode::kLf,
+                                                              Mode::kPto),
+                                            ::testing::Values(1, 2, 3)),
+                         [](const auto& info) {
+                           return std::string(mode_name(
+                                      std::get<0>(info.param))) +
+                                  "_s" +
+                                  std::to_string(std::get<1>(info.param));
+                         });
+
+class SkipQPhased : public ::testing::TestWithParam<std::tuple<Mode, int>> {};
+
+TEST_P(SkipQPhased, PopOnlyPhaseAscendsPerThread) {
+  auto [mode, seed] = GetParam();
+  constexpr unsigned kThreads = 6;
+  constexpr int kPerThread = 150;
+  SkipQueue<SimPlatform> q;
+  pto::testutil::SimBarrier bar(kThreads);
+  std::vector<std::vector<std::int32_t>> pops(kThreads);
+
+  pto::sim::Config cfg;
+  cfg.seed = static_cast<std::uint64_t>(seed);
+  auto res = pto::sim::run(kThreads, cfg, [&](unsigned tid) {
+    auto ctx = q.make_ctx();
+    for (int i = 0; i < kPerThread; ++i) {
+      auto v = static_cast<std::int32_t>(pto::sim::rnd() % 100000);
+      if (mode == Mode::kLf) {
+        q.push_lf(ctx, v);
+      } else {
+        q.push_pto(ctx, v);
+      }
+    }
+    bar.wait();
+    for (;;) {
+      auto got = (mode == Mode::kLf) ? q.pop_min_lf(ctx)
+                                     : q.pop_min_pto(ctx);
+      if (!got.has_value()) break;
+      pops[tid].push_back(*got);
+    }
+  });
+  EXPECT_EQ(res.uaf_count, 0u);
+
+  std::size_t total = 0;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    for (std::size_t i = 1; i < pops[t].size(); ++i) {
+      ASSERT_LE(pops[t][i - 1], pops[t][i])
+          << "thread " << t << " popped out of order at index " << i;
+    }
+    total += pops[t].size();
+  }
+  EXPECT_EQ(total, kThreads * kPerThread);
+  EXPECT_TRUE(q.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SkipQPhased,
+                         ::testing::Combine(::testing::Values(Mode::kLf,
+                                                              Mode::kPto),
+                                            ::testing::Values(1, 2, 3)),
+                         [](const auto& info) {
+                           return std::string(mode_name(
+                                      std::get<0>(info.param))) +
+                                  "_s" +
+                                  std::to_string(std::get<1>(info.param));
+                         });
+
+// Alternating push/pop storm: at every quiescent point between phases the
+// minimum popped next must be the global minimum of what remains.
+TEST(PqOrdering, MoundPhaseMinimumIsGlobalMinimum) {
+  constexpr unsigned kThreads = 4;
+  Mound<SimPlatform> q(12);
+  pto::testutil::SimBarrier bar(kThreads);
+  std::vector<std::multiset<std::int32_t>> pushed(kThreads);
+  std::vector<std::multiset<std::int32_t>> popped(kThreads);
+  pto::sim::Config cfg;
+  cfg.seed = 77;
+  pto::sim::run(kThreads, cfg, [&](unsigned tid) {
+    auto ctx = q.make_ctx();
+    for (int round = 0; round < 10; ++round) {
+      for (int i = 0; i < 30; ++i) {
+        auto v = static_cast<std::int32_t>(pto::sim::rnd() % 100000);
+        q.insert_pto(ctx, v);
+        pushed[tid].insert(v);
+      }
+      bar.wait();
+      if (tid == 0) {
+        // Quiescent: the next pop must equal the global remaining minimum.
+        std::multiset<std::int32_t> remaining;
+        for (unsigned t = 0; t < kThreads; ++t) {
+          for (auto v : pushed[t]) remaining.insert(v);
+        }
+        for (unsigned t = 0; t < kThreads; ++t) {
+          for (auto v : popped[t]) {
+            auto it = remaining.find(v);
+            ASSERT_NE(it, remaining.end()) << "popped value never pushed";
+            remaining.erase(it);
+          }
+        }
+        auto got = q.extract_min_lf(ctx);
+        ASSERT_TRUE(got.has_value());
+        ASSERT_EQ(*got, *remaining.begin());
+        popped[0].insert(*got);
+      }
+      bar.wait();
+      for (int i = 0; i < 15; ++i) {
+        auto got = q.extract_min_pto(ctx);
+        if (got.has_value()) popped[tid].insert(*got);
+      }
+      bar.wait();
+    }
+  });
+  // Conservation across the whole run.
+  std::multiset<std::int32_t> all_pushed, all_popped;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    all_pushed.insert(pushed[t].begin(), pushed[t].end());
+    all_popped.insert(popped[t].begin(), popped[t].end());
+  }
+  auto ctx = q.make_ctx();
+  while (auto got = q.extract_min_lf(ctx)) all_popped.insert(*got);
+  EXPECT_EQ(all_pushed, all_popped);
+}
+
+}  // namespace

@@ -1,0 +1,169 @@
+// The prefix() combinator: retry budgets, per-cause policies, statistics
+// accounting, return-type handling, and hierarchical composition (§2.5).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/prefix.h"
+#include "platform/sim_platform.h"
+#include "sim/sim.h"
+
+namespace {
+
+using pto::PrefixPolicy;
+using pto::PrefixStats;
+using pto::SimPlatform;
+namespace sim = pto::sim;
+
+TEST(Prefix, AttemptBudgetHonored) {
+  sim::Config cfg;
+  cfg.htm.spurious_abort_prob = 1.0;  // first instrumented access aborts
+  for (int budget : {1, 2, 5, 9}) {
+    PrefixStats st;
+    pto::Atom<SimPlatform, int> x;
+    x.init(0);
+    sim::run(1, cfg, [&](unsigned) {
+      pto::prefix<SimPlatform>(
+          PrefixPolicy(budget),
+          [&] { x.store(1, std::memory_order_relaxed); }, [] {}, &st);
+    });
+    EXPECT_EQ(st.attempts, static_cast<std::uint64_t>(budget));
+    EXPECT_EQ(st.fallbacks, 1u);
+    EXPECT_EQ(st.aborts[pto::TX_ABORT_SPURIOUS],
+              static_cast<std::uint64_t>(budget));
+  }
+}
+
+TEST(Prefix, ExplicitAbortSkipsRemainingAttemptsByDefault) {
+  PrefixStats st;
+  sim::run(1, {}, [&](unsigned) {
+    pto::prefix<SimPlatform>(
+        PrefixPolicy(10),
+        [] { SimPlatform::tx_abort<pto::TX_CODE_HELPING>(); }, [] {}, &st);
+  });
+  EXPECT_EQ(st.attempts, 1u);
+  EXPECT_EQ(st.fallbacks, 1u);
+}
+
+TEST(Prefix, RetryOnExplicitRetriesFullBudget) {
+  PrefixPolicy pol(5);
+  pol.retry_on_explicit = true;
+  PrefixStats st;
+  sim::run(1, {}, [&](unsigned) {
+    pto::prefix<SimPlatform>(
+        pol, [] { SimPlatform::tx_abort<pto::TX_CODE_HELPING>(); }, [] {},
+        &st);
+  });
+  EXPECT_EQ(st.attempts, 5u);
+}
+
+TEST(Prefix, ExplicitAbortCodeObservable) {
+  sim::run(1, {}, [&](unsigned) {
+    pto::prefix<SimPlatform>(
+        1, [] { SimPlatform::tx_abort<pto::TX_CODE_VALIDATION>(); }, [] {});
+    EXPECT_EQ(SimPlatform::last_user_code(), pto::TX_CODE_VALIDATION);
+  });
+}
+
+TEST(Prefix, NonVoidResultPropagates) {
+  sim::run(1, {}, [&](unsigned) {
+    std::string r = pto::prefix<SimPlatform>(
+        2, [] { return std::string("fast"); },
+        [] { return std::string("slow"); });
+    EXPECT_EQ(r, "fast");
+    sim::Config unused;
+    (void)unused;
+  });
+}
+
+TEST(Prefix, FallbackResultPropagates) {
+  sim::Config cfg;
+  cfg.htm.spurious_abort_prob = 1.0;
+  pto::Atom<SimPlatform, int> x;
+  x.init(0);
+  sim::run(1, cfg, [&](unsigned) {
+    int r = pto::prefix<SimPlatform>(
+        3,
+        [&] {
+          x.store(1, std::memory_order_relaxed);
+          return 1;
+        },
+        [] { return 2; });
+    EXPECT_EQ(r, 2);
+  });
+}
+
+TEST(Prefix, StatsCountCommitsExactly) {
+  PrefixStats st;
+  sim::run(1, {}, [&](unsigned) {
+    for (int i = 0; i < 250; ++i) {
+      pto::prefix<SimPlatform>(3, [] {}, [] {}, &st);
+    }
+  });
+  EXPECT_EQ(st.commits, 250u);
+  EXPECT_EQ(st.attempts, 250u);
+  EXPECT_EQ(st.fallbacks, 0u);
+  EXPECT_EQ(st.total_aborts(), 0u);
+}
+
+TEST(Prefix, HierarchicalCompositionFallsThroughInOrder) {
+  // Outer prefix (doomed) -> inner prefix (doomed) -> final fallback; the
+  // attempt ordering is the paper's T_B(T_A(G)) recursive optimization.
+  sim::Config cfg;
+  cfg.htm.spurious_abort_prob = 1.0;
+  PrefixStats outer_st, inner_st;
+  pto::Atom<SimPlatform, int> x;
+  x.init(0);
+  int order = 0, outer_done = 0, inner_done = 0, final_done = 0;
+  sim::run(1, cfg, [&](unsigned) {
+    pto::prefix<SimPlatform>(
+        2,
+        [&] {
+          x.store(1, std::memory_order_relaxed);  // dies spuriously
+          outer_done = ++order;
+        },
+        [&] {
+          pto::prefix<SimPlatform>(
+              16,
+              [&] {
+                x.store(2, std::memory_order_relaxed);
+                inner_done = ++order;
+              },
+              [&] { final_done = ++order; }, &inner_st);
+        },
+        &outer_st);
+  });
+  EXPECT_EQ(outer_done, 0);  // never committed
+  EXPECT_EQ(inner_done, 0);
+  EXPECT_EQ(final_done, 1);
+  EXPECT_EQ(outer_st.attempts, 2u);
+  EXPECT_EQ(inner_st.attempts, 16u);
+}
+
+TEST(Prefix, NestedPrefixInsideActiveTxIsFlat) {
+  // An inner prefix inside a running transaction must not commit separately;
+  // aborting the inner body aborts the whole (flat) transaction.
+  PrefixStats outer_st;
+  int final_path = 0;
+  sim::run(1, {}, [&](unsigned) {
+    pto::prefix<SimPlatform>(
+        1,
+        [&] {
+          pto::prefix<SimPlatform>(
+              1, [&] { SimPlatform::tx_abort<pto::TX_CODE_POLICY>(); },
+              [&] { ADD_FAILURE() << "inner slow ran inside outer tx"; });
+        },
+        [&] { final_path = 1; }, &outer_st);
+  });
+  EXPECT_EQ(final_path, 1);
+  EXPECT_EQ(outer_st.aborts[pto::TX_ABORT_EXPLICIT], 1u);
+}
+
+TEST(Prefix, WorksOutsideSimulationViaFallback) {
+  // Host-side (no simulation running): SimPlatform transactions are
+  // unavailable, prefix must route to the fallback.
+  int r = pto::prefix<SimPlatform>(3, [] { return 1; }, [] { return 2; });
+  EXPECT_EQ(r, 2);
+}
+
+}  // namespace

@@ -1,0 +1,195 @@
+// Native HTM layer: backend probing, SoftHTM transactional semantics
+// (atomicity, rollback, validation, read-own-writes, nesting), the
+// strongly-atomic non-transactional accessors, and real-thread stress.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "core/prefix.h"
+#include "htm/htm.h"
+#include "htm/softhtm.h"
+#include "platform/native_platform.h"
+
+namespace {
+
+using pto::Atom;
+using pto::NativePlatform;
+namespace soft = pto::softhtm;
+
+/// Run `fn` as a SoftHTM transaction directly (independent of the backend
+/// the process probed).
+template <class Fn>
+unsigned soft_tx(Fn&& fn) {
+  int j = setjmp(soft::tls_tx().env);
+  if (j != 0) return static_cast<unsigned>(j);
+  unsigned s = soft::begin();
+  EXPECT_EQ(s, pto::TX_STARTED);
+  fn();
+  soft::commit();
+  return pto::TX_STARTED;
+}
+
+TEST(SoftHtm, CommitPublishesAllWrites) {
+  std::atomic<int> a{0}, b{0};
+  unsigned s = soft_tx([&] {
+    soft::tx_store(a, 1);
+    soft::tx_store(b, 2);
+    // Buffered: not visible before commit.
+    EXPECT_EQ(a.load(), 0);
+  });
+  EXPECT_EQ(s, pto::TX_STARTED);
+  EXPECT_EQ(a.load(), 1);
+  EXPECT_EQ(b.load(), 2);
+}
+
+TEST(SoftHtm, ReadOwnWrites) {
+  std::atomic<int> a{5};
+  soft_tx([&] {
+    soft::tx_store(a, 7);
+    EXPECT_EQ(soft::tx_load(a), 7);
+    soft::tx_store(a, 9);
+    EXPECT_EQ(soft::tx_load(a), 9);
+  });
+  EXPECT_EQ(a.load(), 9);
+}
+
+TEST(SoftHtm, ExplicitAbortDiscardsWrites) {
+  std::atomic<int> a{5};
+  unsigned s = soft_tx([&] {
+    soft::tx_store(a, 7);
+    soft::abort_tx(pto::TX_ABORT_EXPLICIT, pto::TX_CODE_POLICY);
+  });
+  EXPECT_EQ(s, pto::TX_ABORT_EXPLICIT);
+  EXPECT_EQ(a.load(), 5);
+  EXPECT_EQ(soft::last_user_code(), pto::TX_CODE_POLICY);
+}
+
+TEST(SoftHtm, ConflictingNtStoreAborts) {
+  std::atomic<int> a{1};
+  unsigned s = soft_tx([&] {
+    EXPECT_EQ(soft::tx_load(a), 1);
+    // Another "thread" (here: same thread via the nt accessor) changes the
+    // value after our read: commit-time validation must fail... but since
+    // our tx has no writes it validates only on clock motion. Force a
+    // write so commit validates.
+    soft::tx_store(a, 10);
+    soft::nt_store(a, 2);  // bumps the global clock + changes the value
+  });
+  EXPECT_EQ(s, pto::TX_ABORT_CONFLICT);
+  EXPECT_EQ(a.load(), 2);  // the nt store survived; the tx did not
+}
+
+TEST(SoftHtm, FlatNesting) {
+  std::atomic<int> a{0};
+  soft_tx([&] {
+    soft::tx_store(a, 1);
+    EXPECT_EQ(soft::begin(), pto::TX_STARTED);  // nested
+    soft::tx_store(a, 2);
+    soft::commit();  // inner commit: nothing published yet
+    EXPECT_EQ(a.load(), 0);
+    soft::tx_store(a, 3);
+  });
+  EXPECT_EQ(a.load(), 3);
+}
+
+TEST(SoftHtm, NtAccessorsAreLinearizable) {
+  std::atomic<std::uint64_t> x{0};
+  std::uint64_t expect = 0;
+  EXPECT_TRUE(soft::nt_cas(x, expect, std::uint64_t{5}));
+  EXPECT_EQ(soft::nt_load(x), 5u);
+  EXPECT_EQ(soft::nt_fetch_add(x, std::uint64_t{3}), 5u);
+  EXPECT_EQ(soft::nt_load(x), 8u);
+  expect = 7;
+  EXPECT_FALSE(soft::nt_cas(x, expect, std::uint64_t{9}));
+  EXPECT_EQ(expect, 8u);
+}
+
+TEST(SoftHtm, RealThreadsMultiWordInvariant) {
+  // 4 real threads keep (a, b) equal through prefix transactions under
+  // whatever backend the machine offers; a checker thread uses the same
+  // platform accessors and must never observe a != b.
+  Atom<NativePlatform, std::uint64_t> a, b;
+  a.init(0);
+  b.init(0);
+  std::atomic<bool> stop{false};
+  std::atomic<int> violations{0};
+
+  std::thread checker([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      // Read the pair inside a transaction for a consistent snapshot.
+      auto pair_equal = pto::prefix<NativePlatform>(
+          8,
+          [&]() -> bool {
+            return a.load(std::memory_order_relaxed) ==
+                   b.load(std::memory_order_relaxed);
+          },
+          [&]() -> bool { return true; /* inconclusive, skip */ });
+      if (!pair_equal) violations.fetch_add(1);
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&] {
+      for (int i = 0; i < 20'000; ++i) {
+        pto::prefix<NativePlatform>(
+            8,
+            [&] {
+              auto v = a.load(std::memory_order_relaxed);
+              a.store(v + 1, std::memory_order_relaxed);
+              b.store(b.load(std::memory_order_relaxed) + 1,
+                      std::memory_order_relaxed);
+            },
+            [&] {
+              // Lock-free-ish fallback preserving the invariant atomically
+              // is impossible without a tx; use nt accessors under SoftHTM,
+              // or retry the tx. Here: spin on the fast path.
+              for (;;) {
+                bool done = pto::prefix<NativePlatform>(
+                    64,
+                    [&]() -> bool {
+                      auto v = a.load(std::memory_order_relaxed);
+                      a.store(v + 1, std::memory_order_relaxed);
+                      b.store(b.load(std::memory_order_relaxed) + 1,
+                              std::memory_order_relaxed);
+                      return true;
+                    },
+                    [&]() -> bool { return false; });
+                if (done) return;
+                std::this_thread::yield();
+              }
+            });
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  stop.store(true);
+  checker.join();
+
+  EXPECT_EQ(violations.load(), 0);
+  EXPECT_EQ(a.load(), 80'000u);
+  EXPECT_EQ(b.load(), 80'000u);
+}
+
+TEST(Htm, BackendProbeIsSticky) {
+  auto b1 = pto::htm::backend();
+  auto b2 = pto::htm::backend();
+  EXPECT_EQ(b1, b2);
+  if (b1 == pto::htm::Backend::kRTM) {
+    EXPECT_TRUE(pto::htm::strongly_atomic());
+  } else {
+    EXPECT_FALSE(pto::htm::strongly_atomic());
+  }
+}
+
+TEST(Htm, InTxReflectsState) {
+  EXPECT_FALSE(NativePlatform::in_tx());
+  bool was_in_tx = false;
+  pto::prefix<NativePlatform>(
+      4, [&] { was_in_tx = NativePlatform::in_tx(); }, [&] {});
+  EXPECT_FALSE(NativePlatform::in_tx());
+  (void)was_in_tx;  // rolled back under RTM on abort; only meaningful if committed
+}
+
+}  // namespace
