@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_htm_boundary.dir/abl_htm_boundary.cpp.o"
+  "CMakeFiles/abl_htm_boundary.dir/abl_htm_boundary.cpp.o.d"
+  "abl_htm_boundary"
+  "abl_htm_boundary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_htm_boundary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_primitives.dir/abl_primitives.cpp.o"
+  "CMakeFiles/abl_primitives.dir/abl_primitives.cpp.o.d"
+  "abl_primitives"
+  "abl_primitives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

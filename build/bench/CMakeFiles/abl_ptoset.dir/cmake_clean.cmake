@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_ptoset.dir/abl_ptoset.cpp.o"
+  "CMakeFiles/abl_ptoset.dir/abl_ptoset.cpp.o.d"
+  "abl_ptoset"
+  "abl_ptoset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_ptoset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_reclaimers.dir/abl_reclaimers.cpp.o"
+  "CMakeFiles/abl_reclaimers.dir/abl_reclaimers.cpp.o.d"
+  "abl_reclaimers"
+  "abl_reclaimers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_reclaimers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_retry_tuning.dir/abl_retry_tuning.cpp.o"
+  "CMakeFiles/abl_retry_tuning.dir/abl_retry_tuning.cpp.o.d"
+  "abl_retry_tuning"
+  "abl_retry_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_retry_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

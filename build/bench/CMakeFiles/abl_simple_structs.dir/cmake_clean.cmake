@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_simple_structs.dir/abl_simple_structs.cpp.o"
+  "CMakeFiles/abl_simple_structs.dir/abl_simple_structs.cpp.o.d"
+  "abl_simple_structs"
+  "abl_simple_structs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_simple_structs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2a_mindicator.dir/fig2a_mindicator.cpp.o"
+  "CMakeFiles/fig2a_mindicator.dir/fig2a_mindicator.cpp.o.d"
+  "fig2a_mindicator"
+  "fig2a_mindicator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2a_mindicator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

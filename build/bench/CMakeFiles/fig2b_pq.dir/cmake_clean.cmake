@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2b_pq.dir/fig2b_pq.cpp.o"
+  "CMakeFiles/fig2b_pq.dir/fig2b_pq.cpp.o.d"
+  "fig2b_pq"
+  "fig2b_pq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2b_pq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

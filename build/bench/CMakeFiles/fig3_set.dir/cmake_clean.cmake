@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_set.dir/fig3_set.cpp.o"
+  "CMakeFiles/fig3_set.dir/fig3_set.cpp.o.d"
+  "fig3_set"
+  "fig3_set.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_hash.dir/fig4_hash.cpp.o"
+  "CMakeFiles/fig4_hash.dir/fig4_hash.cpp.o.d"
+  "fig4_hash"
+  "fig4_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

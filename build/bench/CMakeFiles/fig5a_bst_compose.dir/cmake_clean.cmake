@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5a_bst_compose.dir/fig5a_bst_compose.cpp.o"
+  "CMakeFiles/fig5a_bst_compose.dir/fig5a_bst_compose.cpp.o.d"
+  "fig5a_bst_compose"
+  "fig5a_bst_compose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5a_bst_compose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5a_bst_compose.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5b_mound_fence.dir/fig5b_mound_fence.cpp.o"
+  "CMakeFiles/fig5b_mound_fence.dir/fig5b_mound_fence.cpp.o.d"
+  "fig5b_mound_fence"
+  "fig5b_mound_fence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_mound_fence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5c_bst_fence.dir/fig5c_bst_fence.cpp.o"
+  "CMakeFiles/fig5c_bst_fence.dir/fig5c_bst_fence.cpp.o.d"
+  "fig5c_bst_fence"
+  "fig5c_bst_fence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5c_bst_fence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

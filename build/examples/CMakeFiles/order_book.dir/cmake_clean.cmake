@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/order_book.dir/order_book.cpp.o"
+  "CMakeFiles/order_book.dir/order_book.cpp.o.d"
+  "order_book"
+  "order_book.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/order_book.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quiescence_tracker.dir/quiescence_tracker.cpp.o"
+  "CMakeFiles/quiescence_tracker.dir/quiescence_tracker.cpp.o.d"
+  "quiescence_tracker"
+  "quiescence_tracker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quiescence_tracker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

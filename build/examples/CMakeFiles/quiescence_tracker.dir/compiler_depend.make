@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for quiescence_tracker.
+# This may be replaced when dependencies are built.

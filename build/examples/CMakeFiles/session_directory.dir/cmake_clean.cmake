@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/session_directory.dir/session_directory.cpp.o"
+  "CMakeFiles/session_directory.dir/session_directory.cpp.o.d"
+  "session_directory"
+  "session_directory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/session_directory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

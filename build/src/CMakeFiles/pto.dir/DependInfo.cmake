@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchutil/runner.cpp" "src/CMakeFiles/pto.dir/benchutil/runner.cpp.o" "gcc" "src/CMakeFiles/pto.dir/benchutil/runner.cpp.o.d"
+  "/root/repo/src/benchutil/series.cpp" "src/CMakeFiles/pto.dir/benchutil/series.cpp.o" "gcc" "src/CMakeFiles/pto.dir/benchutil/series.cpp.o.d"
+  "/root/repo/src/htm/htm.cpp" "src/CMakeFiles/pto.dir/htm/htm.cpp.o" "gcc" "src/CMakeFiles/pto.dir/htm/htm.cpp.o.d"
+  "/root/repo/src/htm/softhtm.cpp" "src/CMakeFiles/pto.dir/htm/softhtm.cpp.o" "gcc" "src/CMakeFiles/pto.dir/htm/softhtm.cpp.o.d"
+  "/root/repo/src/platform/native_platform.cpp" "src/CMakeFiles/pto.dir/platform/native_platform.cpp.o" "gcc" "src/CMakeFiles/pto.dir/platform/native_platform.cpp.o.d"
+  "/root/repo/src/sim/allocator.cpp" "src/CMakeFiles/pto.dir/sim/allocator.cpp.o" "gcc" "src/CMakeFiles/pto.dir/sim/allocator.cpp.o.d"
+  "/root/repo/src/sim/fiber.cpp" "src/CMakeFiles/pto.dir/sim/fiber.cpp.o" "gcc" "src/CMakeFiles/pto.dir/sim/fiber.cpp.o.d"
+  "/root/repo/src/sim/htm_model.cpp" "src/CMakeFiles/pto.dir/sim/htm_model.cpp.o" "gcc" "src/CMakeFiles/pto.dir/sim/htm_model.cpp.o.d"
+  "/root/repo/src/sim/memory.cpp" "src/CMakeFiles/pto.dir/sim/memory.cpp.o" "gcc" "src/CMakeFiles/pto.dir/sim/memory.cpp.o.d"
+  "/root/repo/src/sim/runtime.cpp" "src/CMakeFiles/pto.dir/sim/runtime.cpp.o" "gcc" "src/CMakeFiles/pto.dir/sim/runtime.cpp.o.d"
+  "/root/repo/src/sim/scheduler.cpp" "src/CMakeFiles/pto.dir/sim/scheduler.cpp.o" "gcc" "src/CMakeFiles/pto.dir/sim/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

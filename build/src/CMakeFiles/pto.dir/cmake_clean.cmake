@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pto.dir/benchutil/runner.cpp.o"
+  "CMakeFiles/pto.dir/benchutil/runner.cpp.o.d"
+  "CMakeFiles/pto.dir/benchutil/series.cpp.o"
+  "CMakeFiles/pto.dir/benchutil/series.cpp.o.d"
+  "CMakeFiles/pto.dir/htm/htm.cpp.o"
+  "CMakeFiles/pto.dir/htm/htm.cpp.o.d"
+  "CMakeFiles/pto.dir/htm/softhtm.cpp.o"
+  "CMakeFiles/pto.dir/htm/softhtm.cpp.o.d"
+  "CMakeFiles/pto.dir/platform/native_platform.cpp.o"
+  "CMakeFiles/pto.dir/platform/native_platform.cpp.o.d"
+  "CMakeFiles/pto.dir/sim/allocator.cpp.o"
+  "CMakeFiles/pto.dir/sim/allocator.cpp.o.d"
+  "CMakeFiles/pto.dir/sim/fiber.cpp.o"
+  "CMakeFiles/pto.dir/sim/fiber.cpp.o.d"
+  "CMakeFiles/pto.dir/sim/htm_model.cpp.o"
+  "CMakeFiles/pto.dir/sim/htm_model.cpp.o.d"
+  "CMakeFiles/pto.dir/sim/memory.cpp.o"
+  "CMakeFiles/pto.dir/sim/memory.cpp.o.d"
+  "CMakeFiles/pto.dir/sim/runtime.cpp.o"
+  "CMakeFiles/pto.dir/sim/runtime.cpp.o.d"
+  "CMakeFiles/pto.dir/sim/scheduler.cpp.o"
+  "CMakeFiles/pto.dir/sim/scheduler.cpp.o.d"
+  "libpto.a"
+  "libpto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for pto.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bst.dir/test_bst.cpp.o"
+  "CMakeFiles/test_bst.dir/test_bst.cpp.o.d"
+  "test_bst"
+  "test_bst.pdb"
+  "test_bst[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_bst.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kcas.dir/test_kcas.cpp.o"
+  "CMakeFiles/test_kcas.dir/test_kcas.cpp.o.d"
+  "test_kcas"
+  "test_kcas.pdb"
+  "test_kcas[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kcas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mindicator.dir/test_mindicator.cpp.o"
+  "CMakeFiles/test_mindicator.dir/test_mindicator.cpp.o.d"
+  "test_mindicator"
+  "test_mindicator.pdb"
+  "test_mindicator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mindicator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mound.dir/test_mound.cpp.o"
+  "CMakeFiles/test_mound.dir/test_mound.cpp.o.d"
+  "test_mound"
+  "test_mound.pdb"
+  "test_mound[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_native_stress.dir/test_native_stress.cpp.o"
+  "CMakeFiles/test_native_stress.dir/test_native_stress.cpp.o.d"
+  "test_native_stress"
+  "test_native_stress.pdb"
+  "test_native_stress[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_native_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

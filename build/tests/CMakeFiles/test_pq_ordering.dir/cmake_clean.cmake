@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pq_ordering.dir/test_pq_ordering.cpp.o"
+  "CMakeFiles/test_pq_ordering.dir/test_pq_ordering.cpp.o.d"
+  "test_pq_ordering"
+  "test_pq_ordering.pdb"
+  "test_pq_ordering[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pq_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ptoset.dir/test_ptoset.cpp.o"
+  "CMakeFiles/test_ptoset.dir/test_ptoset.cpp.o.d"
+  "test_ptoset"
+  "test_ptoset.pdb"
+  "test_ptoset[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ptoset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

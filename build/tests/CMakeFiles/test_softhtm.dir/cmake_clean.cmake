@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_softhtm.dir/test_softhtm.cpp.o"
+  "CMakeFiles/test_softhtm.dir/test_softhtm.cpp.o.d"
+  "test_softhtm"
+  "test_softhtm.pdb"
+  "test_softhtm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_softhtm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

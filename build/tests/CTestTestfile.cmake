@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_smoke[1]_include.cmake")
+include("/root/repo/build/tests/test_mindicator[1]_include.cmake")
+include("/root/repo/build/tests/test_kcas[1]_include.cmake")
+include("/root/repo/build/tests/test_skiplist[1]_include.cmake")
+include("/root/repo/build/tests/test_bst[1]_include.cmake")
+include("/root/repo/build/tests/test_hashtable[1]_include.cmake")
+include("/root/repo/build/tests/test_mound[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_epoch[1]_include.cmake")
+include("/root/repo/build/tests/test_softhtm[1]_include.cmake")
+include("/root/repo/build/tests/test_prefix[1]_include.cmake")
+include("/root/repo/build/tests/test_platform[1]_include.cmake")
+include("/root/repo/build/tests/test_list[1]_include.cmake")
+include("/root/repo/build/tests/test_queue[1]_include.cmake")
+include("/root/repo/build/tests/test_hazard[1]_include.cmake")
+include("/root/repo/build/tests/test_tle[1]_include.cmake")
+include("/root/repo/build/tests/test_linearizability[1]_include.cmake")
+include("/root/repo/build/tests/test_native_stress[1]_include.cmake")
+include("/root/repo/build/tests/test_ptoset[1]_include.cmake")
+include("/root/repo/build/tests/test_pq_ordering[1]_include.cmake")
