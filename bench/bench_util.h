@@ -14,6 +14,8 @@
 #include "benchutil/runner.h"
 #include "benchutil/series.h"
 #include "sim/sim.h"
+#include "telemetry/emit.h"
+#include "telemetry/registry.h"
 
 namespace pto::bench {
 
@@ -33,8 +35,15 @@ void run_variant(Figure& fig, const RunnerOptions& opts,
                  const sim::Config& base_cfg, const std::string& name,
                  const std::function<Fixture*()>& factory) {
   Series& s = fig.add_series(name);
+  // With PTO_STATS set, each point also emits a structured record carrying
+  // the full abort/fallback breakdown; otherwise output is unchanged.
+  const bool emit =
+      telemetry::stats_format() != telemetry::StatsFormat::kOff;
   for (int threads : fig.xs) {
     double sum = 0.0;
+    telemetry::BenchPoint pt;
+    PrefixStats reg_before;
+    if (emit) reg_before = telemetry::registry_totals();
     for (unsigned trial = 0; trial < opts.trials; ++trial) {
       sim::Config cfg = base_cfg;
       cfg.seed = opts.base_seed + 7919ull * trial + 131ull * threads;
@@ -45,10 +54,24 @@ void run_variant(Figure& fig, const RunnerOptions& opts,
                             f->thread_body(tid, opts.ops_per_thread);
                           });
       sum += res.ops_per_msec();
+      if (emit) {
+        pt.sim.accumulate(res.totals());
+        pt.makespan += res.makespan();
+        for (auto c : res.clocks) pt.cpu_cycles += c;
+      }
       delete f;
       sim::reset_memory();
     }
     s.y.push_back(sum / opts.trials);
+    if (emit) {
+      pt.bench = fig.id;
+      pt.series = name;
+      pt.threads = static_cast<unsigned>(threads);
+      pt.trials = opts.trials;
+      pt.ops_per_ms = s.y.back();
+      pt.prefix = telemetry::registry_delta(reg_before);
+      telemetry::emit_bench_point(pt);
+    }
     std::cerr << "  " << name << " t=" << threads << " done\r" << std::flush;
   }
   std::cerr << "                                        \r";

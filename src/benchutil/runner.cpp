@@ -2,6 +2,9 @@
 
 #include <cstdlib>
 
+#include "telemetry/emit.h"
+#include "telemetry/registry.h"
+
 namespace pto::bench {
 
 namespace {
@@ -33,7 +36,14 @@ std::vector<int> sweep_threads(const RunnerOptions& opts) {
 double measure_point(
     const RunnerOptions& opts, unsigned threads, const sim::Config& base_cfg,
     const std::function<std::function<void(unsigned, std::uint64_t)>()>&
-        make_fixture) {
+        make_fixture,
+    const char* bench, const char* series) {
+  const bool emit =
+      telemetry::stats_format() != telemetry::StatsFormat::kOff &&
+      bench != nullptr;
+  telemetry::BenchPoint pt;
+  PrefixStats reg_before;
+  if (emit) reg_before = telemetry::registry_totals();
   double sum = 0.0;
   for (unsigned trial = 0; trial < opts.trials; ++trial) {
     sim::Config cfg = base_cfg;
@@ -43,8 +53,23 @@ double measure_point(
       body(tid, opts.ops_per_thread);
     });
     sum += res.ops_per_msec();
+    if (emit) {
+      pt.sim.accumulate(res.totals());
+      pt.makespan += res.makespan();
+      for (auto c : res.clocks) pt.cpu_cycles += c;
+    }
   }
-  return sum / opts.trials;
+  const double mean = sum / opts.trials;
+  if (emit) {
+    pt.bench = bench;
+    pt.series = series != nullptr ? series : "";
+    pt.threads = threads;
+    pt.trials = opts.trials;
+    pt.ops_per_ms = mean;
+    pt.prefix = telemetry::registry_delta(reg_before);
+    telemetry::emit_bench_point(pt);
+  }
+  return mean;
 }
 
 }  // namespace pto::bench

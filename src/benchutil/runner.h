@@ -1,9 +1,14 @@
 // Simulator bench runner: thread sweeps, trial averaging, and environment
 // knobs shared by every figure binary.
 //
-//   PTO_BENCH_OPS    operations per virtual thread per trial (default 20000)
-//   PTO_BENCH_TRIALS trials averaged per point (default 5, as in the paper)
+//   PTO_BENCH_OPS    operations per virtual thread per trial (default 6000)
+//   PTO_BENCH_TRIALS trials averaged per point (default 3; the sim is
+//                    deterministic, so only the seeds differ between trials)
 //   PTO_BENCH_MAXT   maximum thread count in sweeps (default 8)
+//
+// With PTO_STATS=json|csv each measured point additionally emits a
+// structured record (telemetry/emit.h) carrying the full abort/fallback
+// breakdown alongside the throughput mean.
 #pragma once
 
 #include <cstdint>
@@ -31,9 +36,13 @@ std::vector<int> sweep_threads(const RunnerOptions& opts);
 /// each trial (distinct seeds) and return mean throughput in ops/ms.
 /// `make_fixture` runs before each trial (single-threaded, on the host) and
 /// returns a callable executed per virtual thread.
+///
+/// When `bench`/`series` labels are given and PTO_STATS is active, the point
+/// also emits a structured telemetry record.
 double measure_point(
     const RunnerOptions& opts, unsigned threads, const sim::Config& base_cfg,
     const std::function<std::function<void(unsigned, std::uint64_t)>()>&
-        make_fixture);
+        make_fixture,
+    const char* bench = nullptr, const char* series = nullptr);
 
 }  // namespace pto::bench

@@ -58,9 +58,56 @@ struct PrefixPolicy {
   constexpr explicit PrefixPolicy(int n) : attempts(n) {}
 };
 
+namespace telemetry {
+class Site;
+// Telemetry hooks, defined in telemetry/registry.cpp (declared here to keep
+// the core header free of the registry dependency). Each is a no-op unless
+// telemetry is enabled (PTO_STATS / PTO_TRACE / PTO_TELEMETRY env vars or
+// telemetry::set_enabled).
+void site_attempt(Site* site);
+void site_commit(Site* site);
+void site_abort(Site* site, unsigned cause);
+void site_fallback(Site* site);
+}  // namespace telemetry
+
+/// Statistics sink for prefix(): an optional exact per-thread PrefixStats
+/// plus an optional process-wide telemetry Site (see telemetry/registry.h).
+/// Implicitly constructible from a bare PrefixStats* so existing call sites
+/// keep working; data structures pass {local, PTO_TELEMETRY_SITE("name")} so
+/// every prefix call site reports into the registry without extra plumbing.
+class StatsHandle {
+ public:
+  constexpr StatsHandle() = default;
+  constexpr StatsHandle(PrefixStats* local) : local_(local) {}
+  constexpr StatsHandle(telemetry::Site* site) : site_(site) {}
+  constexpr StatsHandle(PrefixStats* local, telemetry::Site* site)
+      : local_(local), site_(site) {}
+
+  void attempt() const {
+    if (local_ != nullptr) ++local_->attempts;
+    if (site_ != nullptr) telemetry::site_attempt(site_);
+  }
+  void commit() const {
+    if (local_ != nullptr) ++local_->commits;
+    if (site_ != nullptr) telemetry::site_commit(site_);
+  }
+  void abort(unsigned cause) const {
+    if (local_ != nullptr) ++local_->aborts[cause];
+    if (site_ != nullptr) telemetry::site_abort(site_, cause);
+  }
+  void fallback() const {
+    if (local_ != nullptr) ++local_->fallbacks;
+    if (site_ != nullptr) telemetry::site_fallback(site_);
+  }
+
+ private:
+  PrefixStats* local_ = nullptr;
+  telemetry::Site* site_ = nullptr;
+};
+
 template <class P, class Fast, class Slow>
 auto prefix(PrefixPolicy pol, Fast&& fast, Slow&& slow,
-            PrefixStats* st = nullptr) -> std::invoke_result_t<Slow&> {
+            StatsHandle st = {}) -> std::invoke_result_t<Slow&> {
   using R = std::invoke_result_t<Slow&>;
   static_assert(std::is_same_v<R, std::invoke_result_t<Fast&>>,
                 "fast and slow paths must return the same type");
@@ -71,7 +118,7 @@ auto prefix(PrefixPolicy pol, Fast&& fast, Slow&& slow,
     const int i = vi;
     if (i >= pol.attempts) break;
     vi = i + 1;
-    if (st) ++st->attempts;
+    st.attempt();
     unsigned s;
     if (!P::in_tx()) {
       // Software backends abort via longjmp; arm the checkpoint in THIS
@@ -85,30 +132,37 @@ auto prefix(PrefixPolicy pol, Fast&& fast, Slow&& slow,
       if constexpr (std::is_void_v<R>) {
         fast();
         P::tx_end();
-        if (st) ++st->commits;
+        st.commit();
         return;
       } else {
         R r = fast();
         P::tx_end();
-        if (st) ++st->commits;
+        st.commit();
         return r;
       }
     }
-    if (st) ++st->aborts[s < kTxCodeCount ? s : TX_ABORT_OTHER];
-    if (s == TX_ABORT_EXPLICIT && !pol.retry_on_explicit) break;
-    if ((s == TX_ABORT_CAPACITY || s == TX_ABORT_DURATION) &&
+    // Normalize first: a backend may surface a status outside our enum (an
+    // unmapped RTM bit pattern, a stray longjmp payload); those land in the
+    // OTHER bucket and are retried like transient aborts. Gating on the
+    // normalized cause keeps the retry policy identical across backends —
+    // DURATION is budget-gated exactly like CAPACITY whether it arrives from
+    // the simulator's quantum check or from a software backend's longjmp.
+    const unsigned cause = (s >= 1 && s < kTxCodeCount) ? s : TX_ABORT_OTHER;
+    st.abort(cause);
+    if (cause == TX_ABORT_EXPLICIT && !pol.retry_on_explicit) break;
+    if ((cause == TX_ABORT_CAPACITY || cause == TX_ABORT_DURATION) &&
         !pol.retry_on_capacity) {
       break;
     }
   }
-  if (st) ++st->fallbacks;
+  st.fallback();
   return slow();
 }
 
 /// Convenience overload: attempts only.
 template <class P, class Fast, class Slow>
 auto prefix(int attempts, Fast&& fast, Slow&& slow,
-            PrefixStats* st = nullptr) -> std::invoke_result_t<Slow&> {
+            StatsHandle st = {}) -> std::invoke_result_t<Slow&> {
   return prefix<P>(PrefixPolicy(attempts), static_cast<Fast&&>(fast),
                    static_cast<Slow&&>(slow), st);
 }

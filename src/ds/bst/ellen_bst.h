@@ -30,6 +30,7 @@
 #include "core/prefix.h"
 #include "platform/platform.h"
 #include "reclaim/epoch.h"
+#include "telemetry/registry.h"
 
 namespace pto {
 
@@ -124,7 +125,7 @@ class EllenBST {
           Search s = search(key);
           return s.l->key == key;
         },
-        &ctx.lookup_stats);
+        {&ctx.lookup_stats, PTO_TELEMETRY_SITE("bst.lookup")});
   }
 
   bool insert(ThreadCtx& ctx, std::int64_t key, Mode mode = Mode::kLockfree) {
@@ -489,7 +490,7 @@ class EllenBST {
           replaced = l;
           return 1;
         },
-        [&]() -> int { return 0; }, &ctx.pto1_stats);
+        [&]() -> int { return 0; }, {&ctx.pto1_stats, PTO_TELEMETRY_SITE("bst.insert.pto1")});
     if (r == 1) {
       retire_displaced(ctx, displaced);
       ctx.epoch.retire(replaced);
@@ -539,7 +540,7 @@ class EllenBST {
           removed_l = l;
           return 1;
         },
-        [&]() -> int { return 0; }, &ctx.pto1_stats);
+        [&]() -> int { return 0; }, {&ctx.pto1_stats, PTO_TELEMETRY_SITE("bst.remove.pto1")});
     if (r == 1) {
       retire_displaced(ctx, displaced_gp);
       retire_displaced(ctx, displaced_p);
@@ -596,7 +597,7 @@ class EllenBST {
             s.p->update.store(fresh_clean_word());
             return 1;
           },
-          [&]() -> int { return 0; }, &ctx.pto2_stats);
+          [&]() -> int { return 0; }, {&ctx.pto2_stats, PTO_TELEMETRY_SITE("bst.insert.pto2")});
       if (r == 1) {
         retire_displaced(ctx, s.pupdate);
         ctx.epoch.retire(s.l);
@@ -644,7 +645,7 @@ class EllenBST {
             s.p->update.store(pack(&dummy_, kMark));
             return 1;
           },
-          [&]() -> int { return 0; }, &ctx.pto2_stats);
+          [&]() -> int { return 0; }, {&ctx.pto2_stats, PTO_TELEMETRY_SITE("bst.remove.pto2")});
       if (r == 1) {
         retire_displaced(ctx, s.gpupdate);
         retire_displaced(ctx, s.pupdate);

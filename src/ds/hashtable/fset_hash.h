@@ -33,6 +33,7 @@
 #include "core/prefix.h"
 #include "platform/platform.h"
 #include "reclaim/epoch.h"
+#include "telemetry/registry.h"
 
 namespace pto {
 
@@ -94,7 +95,7 @@ class FSetHash {
               typename EpochDomain<P>::Guard g(ctx.epoch);
               return lookup_double_check(key);
             },
-            &ctx.lookup_stats);
+            {&ctx.lookup_stats, PTO_TELEMETRY_SITE("hash.lookup")});
       }
     }
     return false;
@@ -417,7 +418,7 @@ class FSetHash {
                   t->buckets()[i].compare_exchange_strong(expect, neww);
               return ok;
             },
-            st);
+            {st, PTO_TELEMETRY_SITE("hash.update.cow")});
       } else {
         std::uint64_t expect = w;
         swapped = t->buckets()[i].compare_exchange_strong(expect, neww);
@@ -479,7 +480,7 @@ class FSetHash {
             t->buckets()[i].store(bump(w), std::memory_order_relaxed);
             return 1;
           },
-          [&]() -> int { return 0; }, &ctx.update_stats);
+          [&]() -> int { return 0; }, {&ctx.update_stats, PTO_TELEMETRY_SITE("hash.update.inplace")});
       if (r == 1) {
         if (want_resize) {
           typename EpochDomain<P>::Guard g(ctx.epoch);

@@ -21,6 +21,7 @@
 #include "core/prefix.h"
 #include "platform/platform.h"
 #include "reclaim/epoch.h"
+#include "telemetry/registry.h"
 
 namespace pto {
 
@@ -77,7 +78,7 @@ class HarrisList {
     return prefix<P>(
         pol, [&]() -> bool { return contains_walk(key); },
         [&]() -> bool { return contains_lf(ctx, key); },
-        &ctx.lookup_stats);
+        {&ctx.lookup_stats, PTO_TELEMETRY_SITE("list.lookup")});
   }
 
   // -- lock-free baseline (Harris) ---------------------------------------------
@@ -123,7 +124,7 @@ class HarrisList {
             pred->next.store(word(n));
             return 1;
           },
-          [&]() -> int { return 0; }, &ctx.ins_stats);
+          [&]() -> int { return 0; }, {&ctx.ins_stats, PTO_TELEMETRY_SITE("list.insert")});
       if (r == 1) return true;
     }
     bool ok = insert_impl(ctx, key, &n);
@@ -153,7 +154,7 @@ class HarrisList {
             pred->next.store(cn);
             return 1;
           },
-          [&]() -> int { return 0; }, &ctx.rem_stats);
+          [&]() -> int { return 0; }, {&ctx.rem_stats, PTO_TELEMETRY_SITE("list.remove")});
       if (r == 1) {
         ctx.epoch.retire(curr);
         return true;

@@ -40,6 +40,7 @@
 #include "common/defs.h"
 #include "core/prefix.h"
 #include "platform/platform.h"
+#include "telemetry/registry.h"
 
 namespace pto {
 
@@ -112,7 +113,7 @@ class Mindicator {
             if (nv == val(w)) break;
           }
         },
-        [&] { arrive_lf(leaf, v); }, st);
+        [&] { arrive_lf(leaf, v); }, {st, PTO_TELEMETRY_SITE("mindicator.arrive")});
   }
 
   void depart_pto(unsigned leaf, PrefixStats* st = nullptr,
@@ -138,7 +139,7 @@ class Mindicator {
             if (m == val(w)) break;
           }
         },
-        [&] { depart_lf(leaf); }, st);
+        [&] { depart_lf(leaf); }, {st, PTO_TELEMETRY_SITE("mindicator.depart")});
   }
 
   // -- TLE baseline (Fig 2a) ------------------------------------------------
@@ -307,7 +308,7 @@ class Mindicator {
           seq();
           lock_.store(0, std::memory_order_seq_cst);
         },
-        st);
+        {st, PTO_TELEMETRY_SITE("mindicator.tle")});
   }
 
   unsigned leaves_;

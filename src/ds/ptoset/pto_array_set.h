@@ -36,6 +36,7 @@
 #include "core/prefix.h"
 #include "platform/platform.h"
 #include "reclaim/epoch.h"
+#include "telemetry/registry.h"
 
 namespace pto {
 
@@ -80,7 +81,7 @@ class PTOArraySet {
           typename EpochDomain<P>::Guard g(ctx.epoch);
           return lookup_double_check(key);
         },
-        &ctx.stats);
+        {&ctx.stats, PTO_TELEMETRY_SITE("ptoset.lookup")});
   }
 
   bool insert(ThreadCtx& ctx, std::int64_t key,
@@ -205,7 +206,7 @@ class PTOArraySet {
           word_.store(bump(w), std::memory_order_relaxed);
           return 1;
         },
-        [&]() -> int { return 0; }, &ctx.stats);
+        [&]() -> int { return 0; }, {&ctx.stats, PTO_TELEMETRY_SITE("ptoset.update")});
     if (r == 1) return true;
     if (r == 2) return false;
     if (r == 3) return false;  // full: insert rejected (bounded set)

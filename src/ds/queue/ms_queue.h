@@ -21,6 +21,7 @@
 #include "core/prefix.h"
 #include "platform/platform.h"
 #include "reclaim/epoch.h"
+#include "telemetry/registry.h"
 
 namespace pto {
 
@@ -128,7 +129,7 @@ class MSQueue {
           tail_.store(n);  // no lagging-tail intermediate state
           return true;
         },
-        [&]() -> bool { return false; }, &ctx.enq_stats);
+        [&]() -> bool { return false; }, {&ctx.enq_stats, PTO_TELEMETRY_SITE("queue.enqueue")});
     if (!done) enqueue_with_node(ctx, n);
   }
 
@@ -155,7 +156,7 @@ class MSQueue {
           value = next->value;
           return 1;
         },
-        [&]() -> int { return 0; }, &ctx.deq_stats);
+        [&]() -> int { return 0; }, {&ctx.deq_stats, PTO_TELEMETRY_SITE("queue.dequeue")});
     if (r == 1) {
       ctx.epoch.retire(victim);
       return value;

@@ -20,6 +20,7 @@
 #include "core/prefix.h"
 #include "platform/platform.h"
 #include "reclaim/epoch.h"
+#include "telemetry/registry.h"
 
 namespace pto {
 
@@ -143,7 +144,7 @@ class SkipList {
             }
             return 1;
           },
-          [&]() -> int { return 0; }, &ctx.ins_stats);
+          [&]() -> int { return 0; }, {&ctx.ins_stats, PTO_TELEMETRY_SITE("skiplist.insert")});
       if (r == 1) return true;
     }
     // Lock-free fallback, reusing the already-allocated node.
@@ -190,7 +191,7 @@ class SkipList {
             }
             return 1;
           },
-          [&]() -> int { return 0; }, &ctx.rem_stats);
+          [&]() -> int { return 0; }, {&ctx.rem_stats, PTO_TELEMETRY_SITE("skiplist.remove")});
       if (r == 1) {
         ctx.epoch.retire(victim);
         return true;

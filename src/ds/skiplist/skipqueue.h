@@ -17,6 +17,7 @@
 #include <optional>
 
 #include "ds/skiplist/skiplist.h"
+#include "telemetry/registry.h"
 
 namespace pto {
 
@@ -129,7 +130,7 @@ class SkipQueue : private SkipList<P> {
             key = first->key;
             return 1;
           },
-          [&]() -> int { return 0; }, &ctx.base.pop_stats);
+          [&]() -> int { return 0; }, {&ctx.base.pop_stats, PTO_TELEMETRY_SITE("skipqueue.pop")});
       if (r == 1) {
         ctx.base.epoch.retire(victim);
         return static_cast<std::int32_t>(key >> kPrioShift);

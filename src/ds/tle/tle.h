@@ -20,6 +20,7 @@
 
 #include "core/prefix.h"
 #include "platform/platform.h"
+#include "telemetry/registry.h"
 
 namespace pto {
 
@@ -64,7 +65,7 @@ class TLE {
             return r;
           }
         },
-        st);
+        {st, PTO_TELEMETRY_SITE("tle.execute")});
   }
 
   /// Unsynchronized access for setup/teardown/inspection at quiescence.

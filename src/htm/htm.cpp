@@ -56,6 +56,14 @@ Backend backend() {
   return b;
 }
 
+namespace detail {
+telemetry::Site* native_site() {
+  static telemetry::Site* const s = telemetry::Registry::instance().intern(
+      backend() == Backend::kRTM ? "htm.rtm" : "htm.soft");
+  return s;
+}
+}  // namespace detail
+
 unsigned char last_user_code() {
 #if defined(PTO_HAVE_RTM)
   if (backend() == Backend::kRTM) return detail::tls_rtm_user_code;

@@ -12,6 +12,7 @@
 
 #include "htm/softhtm.h"
 #include "htm/txcode.h"
+#include "telemetry/registry.h"
 
 #if defined(PTO_HAVE_RTM)
 #include <immintrin.h>
@@ -37,6 +38,15 @@ unsigned char last_user_code();
 
 namespace detail {
 Backend probe_backend();
+
+/// Telemetry site for the native facade ("htm.rtm" / "htm.soft"), so native
+/// runs report commits and aborts-by-cause through the same registry schema
+/// as the simulator. Commits are recorded after tx_end and aborts on the
+/// abort return path — never inside a running transaction, where the shard
+/// write would join the write set and be rolled back. RTM aborts surface
+/// here via tx_begin's status; SoftHTM aborts are recorded by
+/// softhtm::abort_tx (the longjmp bypasses tx_begin's return).
+telemetry::Site* native_site();
 #if defined(PTO_HAVE_RTM)
 /// Map an _xbegin status word to our unified codes.
 inline unsigned map_rtm_status(unsigned s) {
@@ -58,7 +68,11 @@ inline unsigned tx_begin() {
       detail::tls_rtm_user_code =
           static_cast<unsigned char>(_XABORT_CODE(s));
     }
-    return detail::map_rtm_status(s);
+    unsigned code = detail::map_rtm_status(s);
+    if (PTO_UNLIKELY(telemetry::enabled())) {
+      telemetry::site_abort(detail::native_site(), code);
+    }
+    return code;
   }
 #endif
   return softhtm::begin();
@@ -68,10 +82,18 @@ inline void tx_end() {
 #if defined(PTO_HAVE_RTM)
   if (backend() == Backend::kRTM) {
     _xend();
+    // _xtest guards the flat-nested case: only the outermost commit leaves
+    // the transaction, and the shard write must stay non-transactional.
+    if (_xtest() == 0 && PTO_UNLIKELY(telemetry::enabled())) {
+      telemetry::site_commit(detail::native_site());
+    }
     return;
   }
 #endif
   softhtm::commit();
+  if (!softhtm::in_tx() && PTO_UNLIKELY(telemetry::enabled())) {
+    telemetry::site_commit(detail::native_site());
+  }
 }
 
 /// Explicitly abort the running transaction with user payload C.

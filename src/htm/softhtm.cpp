@@ -1,5 +1,7 @@
 #include "htm/softhtm.h"
 
+#include "htm/htm.h"
+
 #if defined(__x86_64__) || defined(__i386__)
 #include <immintrin.h>
 #define PTO_CPU_RELAX() _mm_pause()
@@ -115,6 +117,11 @@ void abort_tx(unsigned cause, unsigned char user_code) {
   tx.depth = 0;
   tx.reads.clear();
   tx.writes.clear();
+  // The longjmp bypasses htm::tx_begin's abort-return path, so the facade's
+  // telemetry site is fed here (writes are buffered, nothing to roll back).
+  if (PTO_UNLIKELY(::pto::telemetry::enabled())) {
+    ::pto::telemetry::site_abort(htm::detail::native_site(), cause);
+  }
   std::longjmp(tx.env, static_cast<int>(cause));
 }
 

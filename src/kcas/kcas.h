@@ -42,6 +42,7 @@
 #include "core/prefix.h"
 #include "platform/platform.h"
 #include "reclaim/epoch.h"
+#include "telemetry/registry.h"
 
 namespace pto::kcas {
 
@@ -339,7 +340,7 @@ bool pto_mcas(Ctx<P>& ctx, const Entry<P>* entries, unsigned k,
         }
         return true;
       },
-      [&]() -> bool { return mcas<P>(ctx, entries, k); }, st);
+      [&]() -> bool { return mcas<P>(ctx, entries, k); }, {st, PTO_TELEMETRY_SITE("kcas.mcas")});
 }
 
 template <class P>
@@ -369,7 +370,7 @@ bool pto_dcss(Ctx<P>& ctx, Word<P>& control, std::uint64_t cexp,
         return true;
       },
       [&]() -> bool { return dcss<P>(ctx, control, cexp, data, dexp, dnew); },
-      st);
+      {st, PTO_TELEMETRY_SITE("kcas.dcss")});
 }
 
 }  // namespace pto::kcas

@@ -2,6 +2,8 @@
 // requester-wins conflict resolution, capacity/duration/spurious aborts.
 #include "sim/runtime_internal.h"
 
+#include "telemetry/trace.h"
+
 namespace pto::sim::internal {
 
 void Runtime::release_tx_footprint(TxDesc& tx, unsigned tid) {
@@ -34,6 +36,10 @@ void Runtime::doom(unsigned victim, unsigned cause) {
   tx.doom_cause = cause;
   vt.clock += cfg.cost.tx_abort_penalty;
   vt.stats.tx_aborts[cause]++;
+  vt.stats.tx_cycles += vt.clock - tx.start;
+  if (PTO_UNLIKELY(telemetry::trace_on())) {
+    telemetry::trace_tx_abort(victim, tx.start, vt.clock, cause);
+  }
 }
 
 void Runtime::check_doom() {
@@ -58,6 +64,10 @@ void Runtime::self_abort(unsigned cause, unsigned char user_code) {
   t.last_user_code = user_code;
   t.stats.tx_aborts[cause]++;
   t.clock += cfg.cost.tx_abort_penalty;
+  t.stats.tx_cycles += t.clock - tx.start;
+  if (PTO_UNLIKELY(telemetry::trace_on())) {
+    telemetry::trace_tx_abort(cur, tx.start, t.clock, cause);
+  }
   tx.active = false;
   tx.depth = 0;
   std::longjmp(tx.env, static_cast<int>(cause));
@@ -119,6 +129,10 @@ void tx_end() {
   rt.release_tx_footprint(tx, rt.cur);
   tx.active = false;
   t.stats.tx_commits++;
+  t.stats.tx_cycles += t.clock - tx.start;
+  if (PTO_UNLIKELY(telemetry::trace_on())) {
+    telemetry::trace_tx_commit(rt.cur, tx.start, t.clock);
+  }
   rt.charge(rt.cfg.cost.tx_commit);
 }
 

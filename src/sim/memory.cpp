@@ -4,6 +4,8 @@
 
 #include <cstring>
 
+#include "telemetry/trace.h"
+
 namespace pto::sim::internal {
 
 std::uint64_t raw_read(const void* addr, unsigned size) {
@@ -71,6 +73,9 @@ std::uint64_t Runtime::do_load(const void* addr, unsigned size) {
   if (!(L.sharers & bit(cur))) {
     cost += cfg.cost.coherence_miss;
     L.sharers |= bit(cur);
+    if (PTO_UNLIKELY(telemetry::trace_on())) {
+      telemetry::trace_miss(cur, t.clock, line_addr(addr));
+    }
   }
   if (t.tx.active) {
     tx_access_checks();
@@ -94,7 +99,12 @@ void Runtime::do_store(void* addr, unsigned size, std::uint64_t val) {
   LineState& L = line_of(addr);
   if (PTO_UNLIKELY(L.freed)) ++g_mem.uaf_count;
   std::uint64_t cost = cfg.cost.store_hit;
-  if (L.sharers & ~bit(cur)) cost += cfg.cost.coherence_miss;
+  if (L.sharers & ~bit(cur)) {
+    cost += cfg.cost.coherence_miss;
+    if (PTO_UNLIKELY(telemetry::trace_on())) {
+      telemetry::trace_miss(cur, t.clock, line_addr(addr));
+    }
+  }
   L.sharers = bit(cur);
   if (t.tx.active) {
     tx_access_checks();
@@ -139,14 +149,24 @@ bool Runtime::do_cas(void* addr, unsigned size, std::uint64_t& expected,
       expected = curv;
       cost = cfg.cost.load_hit;
     }
-    if (!(L.sharers & bit(cur))) cost += cfg.cost.coherence_miss;
+    if (!(L.sharers & bit(cur))) {
+      cost += cfg.cost.coherence_miss;
+      if (PTO_UNLIKELY(telemetry::trace_on())) {
+        telemetry::trace_miss(cur, t.clock, la);
+      }
+    }
     L.sharers |= bit(cur);
   } else {
     // A CAS takes the line exclusive whether or not it succeeds.
     doom_other_writer(*this, L, cur);
     doom_other_readers(*this, L, cur);
     cost = cfg.cost.cas;
-    if (L.sharers & ~bit(cur)) cost += cfg.cost.coherence_miss;
+    if (L.sharers & ~bit(cur)) {
+      cost += cfg.cost.coherence_miss;
+      if (PTO_UNLIKELY(telemetry::trace_on())) {
+        telemetry::trace_miss(cur, t.clock, la);
+      }
+    }
     L.sharers = bit(cur);
     std::uint64_t curv = raw_read(addr, size);
     ok = (curv == expected);
@@ -183,7 +203,12 @@ std::uint64_t Runtime::do_fetch_add(void* addr, unsigned size,
     doom_other_readers(*this, L, cur);
     cost = cfg.cost.cas;
   }
-  if (L.sharers & ~bit(cur)) cost += cfg.cost.coherence_miss;
+  if (L.sharers & ~bit(cur)) {
+    cost += cfg.cost.coherence_miss;
+    if (PTO_UNLIKELY(telemetry::trace_on())) {
+      telemetry::trace_miss(cur, t.clock, la);
+    }
+  }
   L.sharers = bit(cur);
   std::uint64_t old = raw_read(addr, size);
   raw_write(addr, size, old + delta);

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "telemetry/trace.h"
+
 namespace pto::sim {
 
 namespace internal {
@@ -34,6 +36,7 @@ void ThreadStats::accumulate(const ThreadStats& o) {
   tx_started += o.tx_started;
   tx_commits += o.tx_commits;
   for (unsigned i = 0; i < kTxCodeCount; ++i) tx_aborts[i] += o.tx_aborts[i];
+  tx_cycles += o.tx_cycles;
   ops_completed += o.ops_completed;
 }
 
@@ -67,6 +70,9 @@ RunResult run(unsigned nthreads, const Config& cfg,
   }
   Runtime rt(nthreads, cfg);
   const std::uint64_t uaf_before = g_mem.uaf_count;
+  if (PTO_UNLIKELY(telemetry::trace_on())) {
+    telemetry::trace_run_begin(nthreads, cfg.seed);
+  }
   g_rt = &rt;
   for (unsigned i = 0; i < nthreads; ++i) {
     rt.threads[i].fiber = std::make_unique<Fiber>(
@@ -79,6 +85,9 @@ RunResult run(unsigned nthreads, const Config& cfg,
   }
   rt.dispatch_loop();
   g_rt = nullptr;
+  // Rewrite the trace file at every run boundary so a partially-finished
+  // bench still leaves a loadable trace behind.
+  if (PTO_UNLIKELY(telemetry::trace_on())) telemetry::trace_flush();
 
   RunResult res;
   res.uaf_count = g_mem.uaf_count - uaf_before;

@@ -3,6 +3,8 @@
 // function of the configuration — no host-level nondeterminism leaks in.
 #include "sim/runtime_internal.h"
 
+#include "telemetry/trace.h"
+
 namespace pto::sim::internal {
 
 namespace {
@@ -23,9 +25,14 @@ unsigned min_clock_thread(const std::vector<VThread>& ts) {
 }  // namespace
 
 void Runtime::dispatch_loop() {
+  unsigned prev = kNobody;
   for (;;) {
     unsigned next = min_clock_thread(threads);
     if (next == kNobody) return;  // all virtual threads finished
+    if (PTO_UNLIKELY(telemetry::trace_sched_on()) && next != prev) {
+      telemetry::trace_sched(next, threads[next].clock);
+    }
+    prev = next;
     cur = next;
     swapcontext(&main_ctx, threads[next].fiber->context());
   }

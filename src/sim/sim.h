@@ -85,6 +85,9 @@ struct ThreadStats {
   std::uint64_t allocs = 0, frees = 0;
   std::uint64_t tx_started = 0, tx_commits = 0;
   std::uint64_t tx_aborts[kTxCodeCount] = {};
+  /// Virtual cycles spent inside transactions, committed or aborted
+  /// (outermost begin to commit/abort, abort penalty included).
+  std::uint64_t tx_cycles = 0;
   std::uint64_t ops_completed = 0;  ///< benchmark-level operations (op_done)
 
   std::uint64_t total_aborts() const {

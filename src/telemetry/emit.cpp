@@ -1,0 +1,166 @@
+#include "telemetry/emit.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <ostream>
+
+#include "telemetry/registry.h"
+
+namespace pto::telemetry {
+
+namespace {
+
+StatsFormat format_from_env() {
+  const char* v = std::getenv("PTO_STATS");
+  if (v == nullptr || *v == '\0') return StatsFormat::kOff;
+  if (std::strcmp(v, "csv") == 0) return StatsFormat::kCsv;
+  if (std::strcmp(v, "json") == 0) return StatsFormat::kJson;
+  std::fprintf(stderr, "PTO_STATS=%s not recognized (json|csv); ignoring\n",
+               v);
+  return StatsFormat::kOff;
+}
+
+struct State {
+  StatsFormat format = format_from_env();
+  std::ostream* os = nullptr;  ///< nullptr = stdout
+  bool csv_header_done = false;
+};
+
+State& state() {
+  static State s;
+  return s;
+}
+
+std::ostream& out() {
+  State& s = state();
+  return s.os != nullptr ? *s.os : std::cout;
+}
+
+/// JSON string escaping for the label fields (quotes/backslashes/control).
+void json_str(std::ostream& os, const std::string& v) {
+  os << '"';
+  for (char c : v) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void num(std::ostream& os, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  os << buf;
+}
+
+double fallback_fraction(const PrefixStats& p) {
+  const std::uint64_t done = p.commits + p.fallbacks;
+  return done == 0 ? 0.0
+                   : static_cast<double>(p.fallbacks) /
+                         static_cast<double>(done);
+}
+
+double tx_cycle_share(const BenchPoint& p) {
+  return p.cpu_cycles == 0 ? 0.0
+                           : static_cast<double>(p.sim.tx_cycles) /
+                                 static_cast<double>(p.cpu_cycles);
+}
+
+void emit_json(std::ostream& os, const BenchPoint& p) {
+  os << "{\"type\":\"bench_point\",\"bench\":";
+  json_str(os, p.bench);
+  os << ",\"series\":";
+  json_str(os, p.series);
+  os << ",\"threads\":" << p.threads << ",\"trials\":" << p.trials
+     << ",\"ops\":" << p.sim.ops_completed << ",\"ops_per_ms\":";
+  num(os, p.ops_per_ms);
+  os << ",\"makespan_cycles\":" << p.makespan
+     << ",\"cpu_cycles\":" << p.cpu_cycles
+     << ",\"tx_started\":" << p.sim.tx_started
+     << ",\"tx_commits\":" << p.sim.tx_commits
+     << ",\"tx_cycles\":" << p.sim.tx_cycles << ",\"tx_cycle_share\":";
+  num(os, tx_cycle_share(p));
+  os << ",\"aborts\":{";
+  for (unsigned c = 0; c < kTxCodeCount; ++c) {
+    os << (c == 0 ? "\"" : ",\"") << tx_code_name(c)
+       << "\":" << p.sim.tx_aborts[c];
+  }
+  os << "},\"abort_total\":" << p.sim.total_aborts()
+     << ",\"fences\":" << p.sim.fences
+     << ",\"fences_elided\":" << p.sim.fences_elided
+     << ",\"allocs\":" << p.sim.allocs << ",\"frees\":" << p.sim.frees
+     << ",\"prefix_attempts\":" << p.prefix.attempts
+     << ",\"prefix_commits\":" << p.prefix.commits
+     << ",\"prefix_fallbacks\":" << p.prefix.fallbacks
+     << ",\"fallback_fraction\":";
+  num(os, fallback_fraction(p.prefix));
+  os << "}\n";
+}
+
+void emit_csv(std::ostream& os, const BenchPoint& p, bool header) {
+  if (header) {
+    os << "bench,series,threads,trials,ops,ops_per_ms,makespan_cycles,"
+          "cpu_cycles,tx_started,tx_commits,tx_cycles,tx_cycle_share";
+    for (unsigned c = 0; c < kTxCodeCount; ++c) {
+      os << ",aborts_" << tx_code_name(c);
+    }
+    os << ",abort_total,fences,fences_elided,allocs,frees,prefix_attempts,"
+          "prefix_commits,prefix_fallbacks,fallback_fraction\n";
+  }
+  os << p.bench << ',' << p.series << ',' << p.threads << ',' << p.trials
+     << ',' << p.sim.ops_completed << ',';
+  num(os, p.ops_per_ms);
+  os << ',' << p.makespan << ',' << p.cpu_cycles << ',' << p.sim.tx_started
+     << ',' << p.sim.tx_commits << ',' << p.sim.tx_cycles << ',';
+  num(os, tx_cycle_share(p));
+  for (unsigned c = 0; c < kTxCodeCount; ++c) os << ',' << p.sim.tx_aborts[c];
+  os << ',' << p.sim.total_aborts() << ',' << p.sim.fences << ','
+     << p.sim.fences_elided << ',' << p.sim.allocs << ',' << p.sim.frees
+     << ',' << p.prefix.attempts << ',' << p.prefix.commits << ','
+     << p.prefix.fallbacks << ',';
+  num(os, fallback_fraction(p.prefix));
+  os << '\n';
+}
+
+}  // namespace
+
+StatsFormat stats_format() { return state().format; }
+
+void set_stats_format(StatsFormat f) {
+  state().format = f;
+  state().csv_header_done = false;
+  if (f != StatsFormat::kOff) set_enabled(true);
+}
+
+void set_stats_stream(std::ostream* os) { state().os = os; }
+
+void emit_bench_point(const BenchPoint& p) {
+  State& s = state();
+  switch (s.format) {
+    case StatsFormat::kOff:
+      return;
+    case StatsFormat::kJson:
+      emit_json(out(), p);
+      break;
+    case StatsFormat::kCsv:
+      emit_csv(out(), p, !s.csv_header_done);
+      s.csv_header_done = true;
+      break;
+  }
+  out().flush();
+}
+
+}  // namespace pto::telemetry

@@ -1,0 +1,50 @@
+// Structured bench emission: per-measurement-point records with the full
+// telemetry schema (throughput, abort counts by cause, fallback fraction,
+// fence elisions, transactional cycle share) instead of a bare mean.
+//
+//   PTO_STATS=json   one JSON object per line ("bench_point" records)
+//   PTO_STATS=csv    one CSV row per point (header emitted once)
+//
+// With PTO_STATS unset nothing is emitted and bench output stays byte-
+// identical to a telemetry-free build. Records go to stdout by default;
+// tests can redirect with set_stats_stream().
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "core/prefix.h"
+#include "sim/sim.h"
+
+namespace pto::telemetry {
+
+enum class StatsFormat { kOff, kJson, kCsv };
+
+/// Active format. Initialized once from PTO_STATS; overridable for tests.
+StatsFormat stats_format();
+
+/// Override the format. Selecting kJson/kCsv also enables telemetry
+/// recording (set_enabled(true)) so fallback fractions are populated.
+void set_stats_format(StatsFormat f);
+
+/// Redirect emission (tests); nullptr restores stdout.
+void set_stats_stream(std::ostream* os);
+
+/// One measured bench point, summed over its trials.
+struct BenchPoint {
+  std::string bench;   ///< e.g. "fig3a"
+  std::string series;  ///< e.g. "Tree(PTO)"
+  unsigned threads = 0;
+  unsigned trials = 0;
+  double ops_per_ms = 0.0;
+  std::uint64_t makespan = 0;    ///< virtual cycles, summed over trials
+  std::uint64_t cpu_cycles = 0;  ///< sum of final per-thread clocks
+  sim::ThreadStats sim;          ///< simulator totals, summed over trials
+  PrefixStats prefix;            ///< telemetry-registry delta for the point
+};
+
+/// Emit `p` in the active format; no-op when stats_format() == kOff.
+void emit_bench_point(const BenchPoint& p);
+
+}  // namespace pto::telemetry

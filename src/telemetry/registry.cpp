@@ -1,0 +1,168 @@
+#include "telemetry/registry.h"
+
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <ostream>
+
+#include "sim/sim.h"
+
+namespace pto::telemetry {
+
+namespace detail {
+
+namespace {
+bool env_set(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0';
+}
+
+bool enabled_from_env() {
+  return env_set("PTO_TELEMETRY") || env_set("PTO_STATS") ||
+         env_set("PTO_TRACE");
+}
+}  // namespace
+
+std::atomic<bool> g_enabled{enabled_from_env()};
+
+}  // namespace detail
+
+void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+SiteShard& Site::shard() {
+  // Virtual threads within a simulation map to their thread id (they all run
+  // on one host thread, so the slots are exclusive). Native threads get a
+  // slot from a process-wide counter; past kMaxThreads live threads slots
+  // are reused, which stays correct because shards are atomic.
+  if (sim::active()) return shards_[sim::thread_id() % kMaxThreads];
+  static std::atomic<unsigned> next_slot{0};
+  thread_local unsigned slot =
+      next_slot.fetch_add(1, std::memory_order_relaxed) % kMaxThreads;
+  return shards_[slot];
+}
+
+PrefixStats Site::snapshot() const {
+  PrefixStats s;
+  for (const SiteShard& sh : shards_) {
+    s.attempts += sh.attempts.load(std::memory_order_relaxed);
+    s.commits += sh.commits.load(std::memory_order_relaxed);
+    s.fallbacks += sh.fallbacks.load(std::memory_order_relaxed);
+    for (unsigned i = 0; i < kTxCodeCount; ++i) {
+      s.aborts[i] += sh.aborts[i].load(std::memory_order_relaxed);
+    }
+  }
+  return s;
+}
+
+void Site::reset() {
+  for (SiteShard& sh : shards_) {
+    sh.attempts.store(0, std::memory_order_relaxed);
+    sh.commits.store(0, std::memory_order_relaxed);
+    sh.fallbacks.store(0, std::memory_order_relaxed);
+    for (unsigned i = 0; i < kTxCodeCount; ++i) {
+      sh.aborts[i].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+Registry& Registry::instance() {
+  static Registry* r = [] {
+    auto* reg = new Registry();
+    if (const char* v = std::getenv("PTO_TELEMETRY_REPORT");
+        v != nullptr && *v != '\0') {
+      detail::g_enabled.store(true, std::memory_order_relaxed);
+      std::atexit([] { Registry::instance().report(std::cerr); });
+    }
+    return reg;
+  }();
+  return *r;
+}
+
+Site* Registry::intern(std::string_view name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& s : sites_) {
+    if (s->name() == name) return s.get();
+  }
+  sites_.push_back(std::make_unique<Site>(std::string(name)));
+  return sites_.back().get();
+}
+
+std::vector<Site*> Registry::sites() {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<Site*> out;
+  out.reserve(sites_.size());
+  for (const auto& s : sites_) out.push_back(s.get());
+  return out;
+}
+
+PrefixStats Registry::totals() {
+  PrefixStats t;
+  for (Site* s : sites()) t.accumulate(s->snapshot());
+  return t;
+}
+
+void Registry::reset_all() {
+  for (Site* s : sites()) s->reset();
+}
+
+void Registry::report(std::ostream& os) {
+  os << "== pto telemetry ==\n";
+  os << std::left << std::setw(24) << "site" << std::right << std::setw(12)
+     << "attempts" << std::setw(12) << "commits" << std::setw(12)
+     << "fallbacks";
+  for (unsigned c = 1; c < kTxCodeCount; ++c) {
+    os << std::setw(10) << tx_code_name(c);
+  }
+  os << "\n";
+  for (Site* s : sites()) {
+    PrefixStats st = s->snapshot();
+    // The native facade sites record only commits and aborts (attempts can't
+    // be counted inside a speculative region), so filter on every counter.
+    if (st.attempts == 0 && st.commits == 0 && st.fallbacks == 0 &&
+        st.total_aborts() == 0) {
+      continue;
+    }
+    os << std::left << std::setw(24) << s->name() << std::right
+       << std::setw(12) << st.attempts << std::setw(12) << st.commits
+       << std::setw(12) << st.fallbacks;
+    for (unsigned c = 1; c < kTxCodeCount; ++c) {
+      os << std::setw(10) << st.aborts[c];
+    }
+    os << "\n";
+  }
+  os.flush();
+}
+
+PrefixStats registry_totals() { return Registry::instance().totals(); }
+
+PrefixStats registry_delta(const PrefixStats& before) {
+  PrefixStats now = registry_totals();
+  PrefixStats d;
+  d.attempts = now.attempts - before.attempts;
+  d.commits = now.commits - before.commits;
+  d.fallbacks = now.fallbacks - before.fallbacks;
+  for (unsigned i = 0; i < kTxCodeCount; ++i) {
+    d.aborts[i] = now.aborts[i] - before.aborts[i];
+  }
+  return d;
+}
+
+// Hooks referenced from core/prefix.h (declared there to avoid an include
+// cycle). Each is a no-op unless telemetry is enabled.
+
+void site_attempt(Site* site) {
+  if (enabled()) site->record_attempt();
+}
+void site_commit(Site* site) {
+  if (enabled()) site->record_commit();
+}
+void site_abort(Site* site, unsigned cause) {
+  if (enabled()) site->record_abort(cause);
+}
+void site_fallback(Site* site) {
+  if (enabled()) site->record_fallback();
+}
+
+}  // namespace pto::telemetry

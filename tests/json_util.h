@@ -1,0 +1,195 @@
+// Minimal JSON reader for test assertions (telemetry records, trace files).
+// Recursive descent over the full JSON grammar; no external dependency, no
+// error recovery — parse() either consumes the whole input or fails. Objects
+// preserve insertion order and allow duplicate keys (find returns the first),
+// which is all the tests need.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace testjson {
+
+struct Value;
+using Array = std::vector<Value>;
+using Object = std::vector<std::pair<std::string, Value>>;
+
+struct Value {
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> v =
+      nullptr;
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(v); }
+  bool is_bool() const { return std::holds_alternative<bool>(v); }
+  bool is_num() const { return std::holds_alternative<double>(v); }
+  bool is_str() const { return std::holds_alternative<std::string>(v); }
+  bool is_array() const { return std::holds_alternative<Array>(v); }
+  bool is_object() const { return std::holds_alternative<Object>(v); }
+
+  double num() const { return std::get<double>(v); }
+  const std::string& str() const { return std::get<std::string>(v); }
+  const Array& array() const { return std::get<Array>(v); }
+  const Object& object() const { return std::get<Object>(v); }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value* find(std::string_view key) const {
+    if (!is_object()) return nullptr;
+    for (const auto& [k, val] : object()) {
+      if (k == key) return &val;
+    }
+    return nullptr;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view s) : s_(s) {}
+
+  bool parse(Value* out) {
+    skip_ws();
+    if (!parse_value(out)) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  bool eat(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool lit(std::string_view word) {
+    if (s_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool parse_value(Value* out) {
+    skip_ws();
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case 'n': out->v = nullptr; return lit("null");
+      case 't': out->v = true; return lit("true");
+      case 'f': out->v = false; return lit("false");
+      case '"': return parse_string(out);
+      case '[': return parse_array(out);
+      case '{': return parse_object(out);
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_number(Value* out) {
+    const char* begin = s_.data() + pos_;
+    char* end = nullptr;
+    double d = std::strtod(begin, &end);
+    if (end == begin) return false;
+    pos_ += static_cast<std::size_t>(end - begin);
+    out->v = d;
+    return true;
+  }
+
+  bool parse_string(Value* out) {
+    std::string r;
+    if (!parse_raw_string(&r)) return false;
+    out->v = std::move(r);
+    return true;
+  }
+
+  bool parse_raw_string(std::string* out) {
+    if (!eat('"')) return false;
+    while (pos_ < s_.size()) {
+      char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= s_.size()) return false;
+      char e = s_[pos_++];
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u':
+          // The tests only check structure; a placeholder keeps the parse.
+          if (pos_ + 4 > s_.size()) return false;
+          pos_ += 4;
+          out->push_back('?');
+          break;
+        default: return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool parse_array(Value* out) {
+    if (!eat('[')) return false;
+    Array a;
+    skip_ws();
+    if (eat(']')) {
+      out->v = std::move(a);
+      return true;
+    }
+    for (;;) {
+      Value v;
+      if (!parse_value(&v)) return false;
+      a.push_back(std::move(v));
+      skip_ws();
+      if (eat(']')) break;
+      if (!eat(',')) return false;
+    }
+    out->v = std::move(a);
+    return true;
+  }
+
+  bool parse_object(Value* out) {
+    if (!eat('{')) return false;
+    Object o;
+    skip_ws();
+    if (eat('}')) {
+      out->v = std::move(o);
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (!parse_raw_string(&key)) return false;
+      skip_ws();
+      if (!eat(':')) return false;
+      Value v;
+      if (!parse_value(&v)) return false;
+      o.emplace_back(std::move(key), std::move(v));
+      skip_ws();
+      if (eat('}')) break;
+      if (!eat(',')) return false;
+    }
+    out->v = std::move(o);
+    return true;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+inline bool parse(std::string_view s, Value* out) {
+  return Parser(s).parse(out);
+}
+
+}  // namespace testjson

@@ -159,6 +159,55 @@ TEST(Prefix, NestedPrefixInsideActiveTxIsFlat) {
   EXPECT_EQ(outer_st.aborts[pto::TX_ABORT_EXPLICIT], 1u);
 }
 
+// A stub platform whose tx_begin reports a canned status, for driving the
+// combinator's abort-code handling without a simulator or real HTM.
+struct FakePlatform {
+  static inline unsigned status = pto::TX_STARTED;
+  static bool in_tx() { return false; }
+  static std::jmp_buf& tx_checkpoint() {
+    static thread_local std::jmp_buf buf;
+    return buf;
+  }
+  static unsigned tx_begin() { return status; }
+  static void tx_end() {}
+};
+
+TEST(Prefix, OutOfRangeStatusLandsInOtherBucket) {
+  // A backend may surface statuses outside the TxAbort enum (unmapped RTM
+  // bits, stray longjmp payloads); they must bucket to TX_ABORT_OTHER, never
+  // index past the aborts array.
+  for (unsigned s : {pto::kTxCodeCount, 42u, 0xdeadu}) {
+    FakePlatform::status = s;
+    PrefixStats st;
+    int r = pto::prefix<FakePlatform>(3, [] { return 1; }, [] { return 2; },
+                                      &st);
+    EXPECT_EQ(r, 2);
+    EXPECT_EQ(st.attempts, 3u);  // retried like a transient abort
+    EXPECT_EQ(st.aborts[pto::TX_ABORT_OTHER], 3u) << "status " << s;
+    EXPECT_EQ(st.total_aborts(), 3u);
+    EXPECT_EQ(st.fallbacks, 1u);
+  }
+}
+
+TEST(Prefix, DurationAbortGatedLikeCapacity) {
+  // DURATION recurs just like CAPACITY, so it must consume the budget the
+  // same way: one attempt by default, the full budget under retry_on_capacity.
+  FakePlatform::status = pto::TX_ABORT_DURATION;
+  PrefixStats st;
+  pto::prefix<FakePlatform>(8, [] {}, [] {}, &st);
+  EXPECT_EQ(st.attempts, 1u);
+  EXPECT_EQ(st.aborts[pto::TX_ABORT_DURATION], 1u);
+  EXPECT_EQ(st.fallbacks, 1u);
+
+  PrefixPolicy pol(8);
+  pol.retry_on_capacity = true;
+  PrefixStats st2;
+  pto::prefix<FakePlatform>(pol, [] {}, [] {}, &st2);
+  EXPECT_EQ(st2.attempts, 8u);
+  EXPECT_EQ(st2.aborts[pto::TX_ABORT_DURATION], 8u);
+  EXPECT_EQ(st2.fallbacks, 1u);
+}
+
 TEST(Prefix, WorksOutsideSimulationViaFallback) {
   // Host-side (no simulation running): SimPlatform transactions are
   // unavailable, prefix must route to the fallback.

@@ -1,0 +1,211 @@
+// pto::telemetry — registry interning, thread-sharded accumulation from
+// simulated and host threads, snapshot determinism, and the PTO_TRACE
+// Chrome-trace golden file.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/prefix.h"
+#include "json_util.h"
+#include "platform/sim_platform.h"
+#include "sim/sim.h"
+#include "telemetry/registry.h"
+#include "telemetry/trace.h"
+
+namespace {
+
+using pto::PrefixStats;
+using pto::SimPlatform;
+using pto::StatsHandle;
+namespace sim = pto::sim;
+namespace tel = pto::telemetry;
+
+PrefixStats contended_run(tel::Site* site, std::uint64_t seed) {
+  // Pristine simulated memory per run, like the benches between trials —
+  // leftover cache-model state would make identical seeds diverge.
+  sim::reset_memory();
+  sim::Config cfg;
+  cfg.seed = seed;
+  pto::Atom<SimPlatform, std::uint64_t> counter;
+  counter.init(0);
+  PrefixStats local;
+  sim::run(4, cfg, [&](unsigned) {
+    for (int i = 0; i < 200; ++i) {
+      pto::prefix<SimPlatform>(
+          2,
+          [&] {
+            auto v = counter.load(std::memory_order_relaxed);
+            counter.store(v + 1, std::memory_order_relaxed);
+          },
+          [&] { counter.fetch_add(1, std::memory_order_seq_cst); },
+          StatsHandle{&local, site});
+    }
+  });
+  return local;
+}
+
+TEST(TelemetryRegistry, InternIsStableAndCached) {
+  tel::Site* a = tel::Registry::instance().intern("test.intern.a");
+  tel::Site* b = tel::Registry::instance().intern("test.intern.b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, tel::Registry::instance().intern("test.intern.a"));
+  EXPECT_EQ(a->name(), "test.intern.a");
+  // The macro caches per call site and agrees with a direct intern.
+  auto once = [] { return PTO_TELEMETRY_SITE("test.intern.a"); };
+  EXPECT_EQ(once(), once());
+  EXPECT_EQ(once(), a);
+}
+
+TEST(TelemetryRegistry, ConcurrentHostRegistrationIsSafe) {
+  // Many host threads intern overlapping names; every thread must see the
+  // same stable pointer per name.
+  constexpr int kThreads = 8;
+  constexpr int kNames = 16;
+  std::vector<std::vector<tel::Site*>> seen(kThreads);
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([t, &seen] {
+      for (int n = 0; n < kNames; ++n) {
+        std::string name = "test.reg." + std::to_string(n);
+        seen[t].push_back(tel::Registry::instance().intern(name));
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(seen[t], seen[0]);
+  std::set<tel::Site*> distinct(seen[0].begin(), seen[0].end());
+  EXPECT_EQ(distinct.size(), static_cast<std::size_t>(kNames));
+}
+
+TEST(TelemetryRegistry, SimThreadsAccumulateIntoShards) {
+  tel::set_enabled(true);
+  tel::Site* site = tel::Registry::instance().intern("test.accum");
+  site->reset();
+  PrefixStats local = contended_run(site, /*seed=*/7);
+  PrefixStats snap = site->snapshot();
+  // The site (sharded, relaxed atomics) must agree exactly with the
+  // single PrefixStats that every simulated thread also updated.
+  EXPECT_EQ(snap.attempts, local.attempts);
+  EXPECT_EQ(snap.commits, local.commits);
+  EXPECT_EQ(snap.fallbacks, local.fallbacks);
+  for (unsigned c = 0; c < pto::kTxCodeCount; ++c) {
+    EXPECT_EQ(snap.aborts[c], local.aborts[c]) << "cause " << c;
+  }
+  // 4 threads x 200 ops each completed exactly once, via commit or fallback.
+  EXPECT_EQ(snap.commits + snap.fallbacks, 800u);
+  EXPECT_GE(snap.attempts, 800u);
+}
+
+TEST(TelemetryRegistry, DisabledSitesRecordNothing) {
+  tel::set_enabled(true);
+  tel::Site* site = tel::Registry::instance().intern("test.gated");
+  site->reset();
+  tel::set_enabled(false);
+  PrefixStats local = contended_run(site, /*seed=*/11);
+  PrefixStats snap = site->snapshot();
+  EXPECT_EQ(snap.attempts, 0u);
+  EXPECT_EQ(snap.commits, 0u);
+  EXPECT_EQ(snap.fallbacks, 0u);
+  // The exact per-thread stats are unaffected by the gate.
+  EXPECT_EQ(local.commits + local.fallbacks, 800u);
+  tel::set_enabled(true);
+}
+
+TEST(TelemetryRegistry, SnapshotDeterministicAcrossIdenticalSeeds) {
+  tel::set_enabled(true);
+  tel::Site* site = tel::Registry::instance().intern("test.determinism");
+  site->reset();
+  contended_run(site, /*seed=*/1234);
+  PrefixStats first = site->snapshot();
+  site->reset();
+  contended_run(site, /*seed=*/1234);
+  PrefixStats second = site->snapshot();
+  EXPECT_EQ(first.attempts, second.attempts);
+  EXPECT_EQ(first.commits, second.commits);
+  EXPECT_EQ(first.fallbacks, second.fallbacks);
+  for (unsigned c = 0; c < pto::kTxCodeCount; ++c) {
+    EXPECT_EQ(first.aborts[c], second.aborts[c]) << "cause " << c;
+  }
+  // The workload is contended enough to exercise the abort path at all.
+  EXPECT_GT(first.total_aborts(), 0u);
+}
+
+TEST(TelemetryRegistry, TotalsAndDeltaSumSites) {
+  tel::set_enabled(true);
+  tel::Site* site = tel::Registry::instance().intern("test.delta");
+  site->reset();
+  PrefixStats before = tel::registry_totals();
+  PrefixStats local = contended_run(site, /*seed=*/99);
+  PrefixStats delta = tel::registry_delta(before);
+  EXPECT_EQ(delta.attempts, local.attempts);
+  EXPECT_EQ(delta.commits, local.commits);
+  EXPECT_EQ(delta.fallbacks, local.fallbacks);
+}
+
+TEST(TelemetryTrace, ChromeTraceGoldenFile) {
+  const char* path = "pto_trace_test.json";
+  std::remove(path);
+  tel::trace_set_capacity(1 << 14);
+  tel::trace_set_path(path);
+  tel::set_enabled(true);
+  tel::Site* site = tel::Registry::instance().intern("test.trace");
+  contended_run(site, /*seed=*/5);  // sim::run flushes the trace on exit
+  tel::trace_set_path(nullptr);     // disable + drop buffered events
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "trace file not written";
+  std::stringstream buf;
+  buf << in.rdbuf();
+
+  testjson::Value root;
+  ASSERT_TRUE(testjson::parse(buf.str(), &root))
+      << "trace is not valid JSON";
+  ASSERT_TRUE(root.is_object());
+
+  const testjson::Value* events = root.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_FALSE(events->array().empty());
+
+  const testjson::Value* other = root.find("otherData");
+  ASSERT_NE(other, nullptr);
+  ASSERT_NE(other->find("cycles_per_us"), nullptr);
+  EXPECT_EQ(other->find("cycles_per_us")->num(), 3400.0);
+
+  unsigned tx_events = 0, abort_events = 0;
+  for (const testjson::Value& e : events->array()) {
+    ASSERT_TRUE(e.is_object());
+    const testjson::Value* ph = e.find("ph");
+    ASSERT_NE(ph, nullptr);
+    ASSERT_TRUE(ph->is_str());
+    // Every event needs pid/tid; non-metadata events also need a timestamp.
+    EXPECT_NE(e.find("pid"), nullptr);
+    EXPECT_NE(e.find("tid"), nullptr);
+    if (ph->str() != "M") EXPECT_NE(e.find("ts"), nullptr);
+    if (ph->str() == "X") {
+      ++tx_events;
+      EXPECT_NE(e.find("dur"), nullptr);
+      const testjson::Value* args = e.find("args");
+      ASSERT_NE(args, nullptr);
+      const testjson::Value* outcome = args->find("outcome");
+      ASSERT_NE(outcome, nullptr);
+      if (outcome->str() == "abort") {
+        ++abort_events;
+        const testjson::Value* cause = args->find("cause");
+        ASSERT_NE(cause, nullptr) << "abort event without cause label";
+        EXPECT_FALSE(cause->str().empty());
+      }
+    }
+  }
+  EXPECT_GT(tx_events, 0u) << "no transaction events recorded";
+  EXPECT_GT(abort_events, 0u) << "contended run recorded no aborts";
+  std::remove(path);
+}
+
+}  // namespace
