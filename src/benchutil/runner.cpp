@@ -1,6 +1,9 @@
 #include "benchutil/runner.h"
 
+#include <cstdio>
 #include <cstdlib>
+#include <set>
+#include <string>
 
 #include "telemetry/emit.h"
 #include "telemetry/registry.h"
@@ -9,10 +12,19 @@ namespace pto::bench {
 
 namespace {
 std::uint64_t env_u64(const char* name, std::uint64_t dflt) {
-  if (const char* v = std::getenv(name)) {
-    char* end = nullptr;
-    auto parsed = std::strtoull(v, &end, 10);
-    if (end != v && parsed > 0) return parsed;
+  const char* v = std::getenv(name);
+  if (v == nullptr) return dflt;
+  char* end = nullptr;
+  auto parsed = std::strtoull(v, &end, 10);
+  if (end != v && *end == '\0' && parsed > 0) return parsed;
+  // A malformed or zero knob silently reverting to the default makes sweep
+  // misconfigurations invisible; warn once per variable.
+  static std::set<std::string> warned;
+  if (warned.insert(name).second) {
+    std::fprintf(stderr,
+                 "[pto] warning: ignoring invalid %s='%s' (want a positive "
+                 "integer); using default %llu\n",
+                 name, v, static_cast<unsigned long long>(dflt));
   }
   return dflt;
 }

@@ -57,7 +57,7 @@ void Runtime::do_dealloc(void* p, std::size_t bytes) {
   auto last = (reinterpret_cast<std::uintptr_t>(p) + (bytes ? bytes - 1 : 0)) /
               kCacheLine;
   for (auto la = first; la <= last; ++la) {
-    LineState& L = g_mem.lines[la];
+    LineState& L = g_mem.lines.line_by_index(la);
     // Freeing is a write: any transaction still holding the line is the
     // victim (this is what makes epoch elision inside transactions safe).
     if (L.tx_writer != kNobody && L.tx_writer != cur) {

@@ -1,31 +1,77 @@
-// Minimal ucontext-based fiber. The simulator multiplexes all virtual
-// threads on the single host thread, switching only at instrumented points,
-// so no host synchronization is required.
+// Fibers for the simulator: all virtual threads are multiplexed on the single
+// host thread, switching only at instrumented points, so no host
+// synchronization is required.
+//
+// Two interchangeable context-switch backends sit behind ExecContext:
+//
+//  * PTO_FAST_FIBER (x86-64, CMake option, default on): a hand-rolled
+//    callee-saved-register switch — ~15 instructions, no syscalls. glibc's
+//    swapcontext makes a sigprocmask syscall per switch, which dominates the
+//    simulator's yield cost; the simulator never changes signal masks, so the
+//    fast path simply doesn't touch them.
+//  * ucontext fallback (portable, and required under ASan, whose fake-stack
+//    bookkeeping only understands the intercepted ucontext API).
+//
+// Yielding fibers switch directly to their successor (scheduler.cpp picks
+// it); the host context is entered only at run() start and teardown.
 #pragma once
-
-#include <ucontext.h>
 
 #include <cstddef>
 #include <functional>
 #include <memory>
 
+#if !PTO_FAST_FIBER
+#include <ucontext.h>
+#endif
+
 namespace pto::sim {
+
+#if PTO_FAST_FIBER
+
+/// Saved execution state: just the stack pointer — everything else lives on
+/// the owning stack (callee-saved registers, mxcsr, x87 control word).
+struct ExecContext {
+  void* sp = nullptr;
+};
+
+extern "C" void pto_ctx_switch(void** save_sp, void* resume_sp);
+
+/// Suspend the current context into `save` and resume `resume`.
+inline void ctx_switch(ExecContext& save, ExecContext& resume) {
+  pto_ctx_switch(&save.sp, resume.sp);
+}
+
+#else  // ucontext fallback
+
+struct ExecContext {
+  ucontext_t uc{};
+};
+
+inline void ctx_switch(ExecContext& save, ExecContext& resume) {
+  swapcontext(&save.uc, &resume.uc);
+}
+
+#endif
 
 class Fiber {
  public:
-  /// Creates a fiber that will execute `fn` when first switched to and
-  /// resume `return_to` when fn returns.
-  Fiber(std::size_t stack_bytes, std::function<void()> fn,
-        ucontext_t* return_to);
+  /// Creates a fiber that will execute `fn` when first switched to. `fn` must
+  /// never return: a finishing virtual thread hands control to the scheduler
+  /// (Runtime::on_fiber_done), which switches away forever.
+  Fiber(std::size_t stack_bytes, std::function<void()> fn);
   Fiber(const Fiber&) = delete;
   Fiber& operator=(const Fiber&) = delete;
 
-  ucontext_t* context() { return &ctx_; }
+  ExecContext& context() { return ctx_; }
 
  private:
+#if PTO_FAST_FIBER
+  static void entry(void* self);
+#else
   static void trampoline(unsigned hi, unsigned lo);
+#endif
 
-  ucontext_t ctx_{};
+  ExecContext ctx_{};
   std::unique_ptr<char[]> stack_;
   std::function<void()> fn_;
 };

@@ -7,15 +7,11 @@
 namespace pto::sim::internal {
 
 void Runtime::release_tx_footprint(TxDesc& tx, unsigned tid) {
-  for (std::uintptr_t l : tx.rlines) {
-    auto it = g_mem.lines.find(l);
-    if (it != g_mem.lines.end()) it->second.tx_readers &= ~bit(tid);
-  }
-  for (std::uintptr_t l : tx.wlines) {
-    auto it = g_mem.lines.find(l);
-    if (it != g_mem.lines.end() && it->second.tx_writer == tid) {
-      it->second.tx_writer = kNobody;
-    }
+  // Tracked lines are held as direct LineState pointers (regions never move
+  // and are only reclaimed by reset_memory, which cannot run mid-tx).
+  for (LineState* l : tx.rlines) l->tx_readers &= ~bit(tid);
+  for (LineState* l : tx.wlines) {
+    if (l->tx_writer == tid) l->tx_writer = kNobody;
   }
   tx.rlines.clear();
   tx.wlines.clear();
@@ -35,6 +31,9 @@ void Runtime::doom(unsigned victim, unsigned cause) {
   tx.doomed = true;
   tx.doom_cause = cause;
   vt.clock += cfg.cost.tx_abort_penalty;
+  // The victim sits in the ready heap (it is suspended); its key and the
+  // cached yield threshold must track the penalty.
+  on_clock_raised(victim);
   vt.stats.tx_aborts[cause]++;
   vt.stats.tx_cycles += vt.clock - tx.start;
   if (PTO_UNLIKELY(telemetry::trace_on())) {

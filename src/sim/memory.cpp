@@ -8,6 +8,51 @@
 
 namespace pto::sim::internal {
 
+// ---------------------------------------------------------------------------
+// LineTable cold paths. The hot lookup (runtime_internal.h) is a single
+// probe; these run only on first touch of a 256 KB region.
+// ---------------------------------------------------------------------------
+
+void LineTable::init_table(std::size_t cap) {
+  keys_.assign(cap, kEmpty);
+  vals_.assign(cap, nullptr);
+  mask_ = cap - 1;
+  used_ = 0;
+}
+
+void LineTable::destroy() {
+  for (LineRegion* r : vals_) delete r;
+  vals_.clear();
+  keys_.clear();
+}
+
+LineRegion* LineTable::create_region(std::uintptr_t region) {
+  if (used_ * 2 >= keys_.size()) grow();
+  // new LineRegion runs LineState's member initializers (tx_writer =
+  // kNobody), so a plain zeroed page would be wrong here.
+  auto* r = new LineRegion();
+  std::size_t i = probe_start(region);
+  while (keys_[i] != kEmpty) i = (i + 1) & mask_;
+  keys_[i] = region;
+  vals_[i] = r;
+  ++used_;
+  return r;
+}
+
+void LineTable::grow() {
+  std::vector<std::uintptr_t> old_keys = std::move(keys_);
+  std::vector<LineRegion*> old_vals = std::move(vals_);
+  init_table(old_keys.size() * 2);
+  for (std::size_t j = 0; j < old_keys.size(); ++j) {
+    if (old_keys[j] == kEmpty) continue;
+    std::size_t i = probe_start(old_keys[j]);
+    while (keys_[i] != kEmpty) i = (i + 1) & mask_;
+    keys_[i] = old_keys[j];
+    vals_[i] = old_vals[j];
+    ++used_;
+  }
+}
+
 std::uint64_t raw_read(const void* addr, unsigned size) {
   std::uint64_t v = 0;
   std::memcpy(&v, addr, size);
@@ -42,24 +87,24 @@ void doom_other_writer(Runtime& rt, LineState& L, unsigned self) {
 
 /// Register a transactional read of the line; capacity-aborts if the read
 /// set is full.
-void tx_track_read(Runtime& rt, LineState& L, std::uintptr_t la) {
+void tx_track_read(Runtime& rt, LineState& L) {
   VThread& t = rt.me();
   if (L.tx_readers & bit(rt.cur)) return;
   if (t.tx.rlines.size() >= rt.cfg.htm.max_read_lines) {
     rt.self_abort(TX_ABORT_CAPACITY, TX_CODE_NONE);
   }
   L.tx_readers |= bit(rt.cur);
-  t.tx.rlines.push_back(la);
+  t.tx.rlines.push_back(&L);
 }
 
-void tx_track_write(Runtime& rt, LineState& L, std::uintptr_t la) {
+void tx_track_write(Runtime& rt, LineState& L) {
   VThread& t = rt.me();
   if (L.tx_writer == rt.cur) return;
   if (t.tx.wlines.size() >= rt.cfg.htm.max_write_lines) {
     rt.self_abort(TX_ABORT_CAPACITY, TX_CODE_NONE);
   }
   L.tx_writer = rt.cur;
-  t.tx.wlines.push_back(la);
+  t.tx.wlines.push_back(&L);
 }
 
 }  // namespace
@@ -80,7 +125,7 @@ std::uint64_t Runtime::do_load(const void* addr, unsigned size) {
   if (t.tx.active) {
     tx_access_checks();
     doom_other_writer(*this, L, cur);  // requester wins
-    tx_track_read(*this, L, line_addr(addr));
+    tx_track_read(*this, L);
   } else {
     // Strong atomicity: a non-transactional read of a transactionally
     // written line aborts the transaction (Intel requester-wins, paper §4.3).
@@ -110,7 +155,7 @@ void Runtime::do_store(void* addr, unsigned size, std::uint64_t val) {
     tx_access_checks();
     doom_other_writer(*this, L, cur);
     doom_other_readers(*this, L, cur);
-    tx_track_write(*this, L, line_addr(addr));
+    tx_track_write(*this, L);
     t.tx.undo.push_back({addr, size, raw_read(addr, size)});
   } else {
     doom_other_writer(*this, L, cur);
@@ -136,12 +181,12 @@ bool Runtime::do_cas(void* addr, unsigned size, std::uint64_t& expected,
     // (paper §2.3, "Eliminating Synchronization").
     tx_access_checks();
     doom_other_writer(*this, L, cur);
-    tx_track_read(*this, L, la);
+    tx_track_read(*this, L);
     std::uint64_t curv = raw_read(addr, size);
     ok = (curv == expected);
     if (ok) {
       doom_other_readers(*this, L, cur);
-      tx_track_write(*this, L, la);
+      tx_track_write(*this, L);
       t.tx.undo.push_back({addr, size, curv});
       raw_write(addr, size, desired);
       cost = cfg.cost.load_hit + cfg.cost.store_hit;
@@ -194,8 +239,8 @@ std::uint64_t Runtime::do_fetch_add(void* addr, unsigned size,
     tx_access_checks();
     doom_other_writer(*this, L, cur);
     doom_other_readers(*this, L, cur);
-    tx_track_read(*this, L, la);
-    tx_track_write(*this, L, la);
+    tx_track_read(*this, L);
+    tx_track_write(*this, L);
     t.tx.undo.push_back({addr, size, raw_read(addr, size)});
     cost = cfg.cost.load_hit + cfg.cost.store_hit;
   } else {

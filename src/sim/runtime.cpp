@@ -14,9 +14,25 @@ Runtime* g_rt = nullptr;
 GlobalMemory g_mem;
 
 Runtime::Runtime(unsigned nthreads, const Config& c)
-    : cfg(c), threads(nthreads) {
+    : cfg(c), threads([&] {
+        // Per-line conflict tracking is a 64-bit mask of thread ids;
+        // bit(tid) silently shifts out of range past 64, so reject early
+        // with a clear message rather than corrupting line state.
+        if (nthreads == 0 || nthreads > kMaxThreads) {
+          throw std::invalid_argument(
+              "sim::Runtime: nthreads must be in [1, 64] (per-line thread "
+              "bitmasks are 64 bits wide)");
+        }
+        return nthreads;
+      }()) {
   for (unsigned i = 0; i < nthreads; ++i) {
     threads[i].rng.reseed(c.seed * 0x9E3779B97F4A7C15ull + i + 1);
+    // Pre-reserve transaction footprints to the configured HTM limits so
+    // the first transactions never reallocate mid-speculation.
+    TxDesc& tx = threads[i].tx;
+    tx.rlines.reserve(c.htm.max_read_lines);
+    tx.wlines.reserve(c.htm.max_write_lines);
+    tx.undo.reserve(c.htm.max_write_lines);
   }
 }
 
@@ -25,6 +41,7 @@ Runtime::Runtime(unsigned nthreads, const Config& c)
 using namespace internal;
 
 void ThreadStats::accumulate(const ThreadStats& o) {
+  dispatches += o.dispatches;
   loads += o.loads;
   stores += o.stores;
   cas_ops += o.cas_ops;
@@ -75,15 +92,12 @@ RunResult run(unsigned nthreads, const Config& cfg,
   }
   g_rt = &rt;
   for (unsigned i = 0; i < nthreads; ++i) {
-    rt.threads[i].fiber = std::make_unique<Fiber>(
-        kFiberStack,
-        [i, &body, &rt] {
-          body(i);
-          rt.threads[i].done = true;
-        },
-        &rt.main_ctx);
+    rt.threads[i].fiber = std::make_unique<Fiber>(kFiberStack, [i, &body, &rt] {
+      body(i);
+      rt.on_fiber_done();  // switches away forever
+    });
   }
-  rt.dispatch_loop();
+  rt.run_all();
   g_rt = nullptr;
   // Rewrite the trace file at every run boundary so a partially-finished
   // bench still leaves a loadable trace behind.
@@ -175,7 +189,7 @@ void dealloc(void* p, std::size_t bytes) {
       (reinterpret_cast<std::uintptr_t>(p) + (bytes ? bytes - 1 : 0)) /
       kCacheLine;
   for (auto la = first; la <= last; ++la) {
-    LineState& L = g_mem.lines[la];
+    LineState& L = g_mem.lines.line_by_index(la);
     L.freed = true;
     L.sharers = 0;
   }

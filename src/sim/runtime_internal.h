@@ -6,7 +6,6 @@
 #include <csetjmp>
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "common/defs.h"
@@ -43,8 +42,10 @@ struct TxDesc {
   std::uint64_t start = 0;
   std::jmp_buf env;
   std::vector<UndoEntry> undo;
-  std::vector<std::uintptr_t> rlines;
-  std::vector<std::uintptr_t> wlines;
+  // Footprint as direct LineState pointers (stable: pages never move), so
+  // releasing a footprint is pure pointer chasing with no table lookups.
+  std::vector<LineState*> rlines;
+  std::vector<LineState*> wlines;
 };
 
 struct VThread {
@@ -80,12 +81,83 @@ class Arena {
   std::size_t left_ = 0;
 };
 
+// ---------------------------------------------------------------------------
+// Line-metadata table. The previous std::unordered_map<line, LineState> cost
+// a hash + bucket chase on *every* instrumented access; this is a two-level
+// structure instead: an open-addressed probe table over 256 KB regions (one
+// expected probe), each region backed by a flat dense LineState[4096] indexed
+// by line offset. Arena traffic — the bulk of all accesses — lands in a
+// handful of regions; stack and global addresses get regions lazily through
+// the same probe path.
+// ---------------------------------------------------------------------------
+
+inline constexpr unsigned kRegionShift = 18;  ///< 256 KB regions
+inline constexpr unsigned kLinesPerRegion =
+    (1u << kRegionShift) / kCacheLine;  // 4096
+
+struct LineRegion {
+  LineState lines[kLinesPerRegion];
+};
+
+class LineTable {
+ public:
+  LineTable() { init_table(64); }
+  ~LineTable() { destroy(); }
+  LineTable(const LineTable&) = delete;
+  LineTable& operator=(const LineTable&) = delete;
+
+  LineState& line_of(const void* addr) {
+    auto a = reinterpret_cast<std::uintptr_t>(addr);
+    return region_for(a >> kRegionShift)
+        ->lines[(a / kCacheLine) & (kLinesPerRegion - 1)];
+  }
+
+  /// Lookup by line index (addr / kCacheLine).
+  LineState& line_by_index(std::uintptr_t la) {
+    return region_for(la >> (kRegionShift - 6))
+        ->lines[la & (kLinesPerRegion - 1)];
+  }
+
+  /// Drop all regions and metadata (reset_memory).
+  void clear() {
+    destroy();
+    init_table(64);
+  }
+
+ private:
+  static constexpr std::uintptr_t kEmpty = ~std::uintptr_t{0};
+
+  LineRegion* region_for(std::uintptr_t region) {
+    std::size_t i = probe_start(region);
+    for (;;) {
+      if (keys_[i] == region) return vals_[i];
+      if (keys_[i] == kEmpty) return create_region(region);
+      i = (i + 1) & mask_;
+    }
+  }
+
+  std::size_t probe_start(std::uintptr_t region) const {
+    return (region * 0x9E3779B97F4A7C15ull >> 40) & mask_;
+  }
+
+  // Cold path: materialize a region (memory.cpp).
+  LineRegion* create_region(std::uintptr_t region);
+  void grow();
+  void init_table(std::size_t cap);
+  void destroy();
+
+  std::vector<std::uintptr_t> keys_;
+  std::vector<LineRegion*> vals_;
+  std::size_t mask_ = 0;
+  std::size_t used_ = 0;
+};
+
 /// Process-global memory state. Global (not per-run) so that benchmark
 /// fixtures built outside sim::run() — or across a setup run and a measure
 /// run — stay valid; sim::reset_memory() reclaims everything between
 /// measurement points.
 struct GlobalMemory {
-  std::unordered_map<std::uintptr_t, LineState> lines;
+  LineTable lines;
   Arena arena;
   std::uint64_t uaf_count = 0;
   /// Shared allocator-metadata word: every alloc/free RMWs it through the
@@ -93,30 +165,53 @@ struct GlobalMemory {
   /// the real-world hazard that malloc inside a transaction conflicts).
   std::uint64_t alloc_word = 0;
 
-  LineState& line_of(const void* addr) {
-    return lines[reinterpret_cast<std::uintptr_t>(addr) / kCacheLine];
-  }
+  LineState& line_of(const void* addr) { return lines.line_of(addr); }
 };
 
 extern GlobalMemory g_mem;
 
 class Runtime {
  public:
+  /// Throws std::invalid_argument for nthreads outside [1, kMaxThreads]:
+  /// the per-line bitmask conflict tracking shifts 1 << tid, which is
+  /// undefined past 64 threads.
   Runtime(unsigned nthreads, const Config& cfg);
 
   Config cfg;
   std::vector<VThread> threads;
   unsigned cur = 0;
-  ucontext_t main_ctx{};
+  ExecContext main_ctx{};
 
   VThread& me() { return threads[cur]; }
   LineState& line_of(const void* addr) { return g_mem.line_of(addr); }
 
-  // scheduler.cpp
-  void dispatch_loop();
+  // scheduler.cpp — O(1) min-clock dispatch with direct fiber switches.
+  //
+  // Invariant: the running thread `cur` is a clock minimum over runnable
+  // threads (ties keep the incumbent running); every other runnable thread
+  // sits in a binary min-heap of (clock << 6 | tid) keys, so the lowest-
+  // index-on-tie dispatch order of the original scan is preserved by plain
+  // integer comparison. `next_min_clock_` caches the heap root's clock, so
+  // the per-access yield decision in charge() is a single compare.
+  /// Run all fibers to completion; returns when every virtual thread is done.
+  void run_all();
   /// Charge `cost` cycles to the current thread and yield if another
   /// runnable thread is now strictly behind.
-  void charge(std::uint64_t cost);
+  void charge(std::uint64_t cost) {
+    VThread& t = me();
+    t.clock += cost;
+    if (PTO_LIKELY(t.clock <= next_min_clock_)) return;
+    yield_to_next();
+  }
+  /// Switch directly to the minimum-clock runnable thread (callee of
+  /// charge() when the current thread fell strictly behind).
+  void yield_to_next();
+  /// Current fiber finished its body: leave the runnable set and switch to
+  /// the next runnable fiber, or back to the host when none remain.
+  [[noreturn]] void on_fiber_done();
+  /// Re-sift `tid` after its clock increased while suspended (doom penalty)
+  /// and refresh the cached yield threshold.
+  void on_clock_raised(unsigned tid);
 
   // htm_model.cpp
   /// Roll back and doom the transaction of `victim` (requester wins).
@@ -141,6 +236,34 @@ class Runtime {
   // allocator.cpp
   void* do_alloc(std::size_t bytes);
   void do_dealloc(void* p, std::size_t bytes);
+
+ private:
+  static constexpr unsigned char kNoPos = 0xFF;
+
+  static std::uint64_t pack(std::uint64_t clock, unsigned tid) {
+    assert(clock < (std::uint64_t{1} << 58));
+    return (clock << 6) | tid;
+  }
+
+  void refresh_threshold() {
+    next_min_clock_ =
+        ready_size_ != 0 ? (ready_[0] >> 6) : ~std::uint64_t{0};
+  }
+  void heap_sift_down(unsigned i);
+  void heap_sift_up(unsigned i);
+  void heap_push(std::uint64_t key);
+  /// Pop the minimum; returns its tid.
+  unsigned heap_pop_min();
+  /// Pop the minimum and insert `key` in a single sift; returns popped tid.
+  unsigned heap_replace_min(std::uint64_t key);
+
+  /// Binary min-heap of packed (clock, tid) keys over runnable threads other
+  /// than `cur`, with a tid -> slot index for doom()'s increase-key.
+  std::uint64_t ready_[kMaxThreads];
+  unsigned ready_size_ = 0;
+  unsigned char heap_pos_[kMaxThreads];
+  /// Clock of the heap root: the single threshold charge() compares against.
+  std::uint64_t next_min_clock_ = ~std::uint64_t{0};
 };
 
 extern Runtime* g_rt;

@@ -1,54 +1,132 @@
 // Min-virtual-clock dispatch: the runnable thread with the smallest clock
 // executes next. Ties break toward the lowest index, making runs a pure
 // function of the configuration — no host-level nondeterminism leaks in.
+//
+// The schedule is identical to the original O(T)-scan dispatcher, computed
+// incrementally: runnable threads other than the running one live in a
+// binary min-heap of packed (clock << 6 | tid) keys (lexicographic
+// clock-then-index order == integer order), the heap root's clock is cached
+// as the yield threshold charge() compares against, and a yielding fiber
+// swaps itself with the heap root and switches straight to it — the host
+// context is touched only at run start and teardown.
 #include "sim/runtime_internal.h"
+
+#include <cstdlib>
 
 #include "telemetry/trace.h"
 
 namespace pto::sim::internal {
 
-namespace {
-
-/// Index of the runnable thread with minimum clock, or kNobody.
-unsigned min_clock_thread(const std::vector<VThread>& ts) {
-  unsigned best = kNobody;
-  std::uint64_t best_clock = ~std::uint64_t{0};
-  for (unsigned i = 0; i < ts.size(); ++i) {
-    if (!ts[i].done && ts[i].clock < best_clock) {
-      best = i;
-      best_clock = ts[i].clock;
-    }
+void Runtime::heap_sift_up(unsigned i) {
+  std::uint64_t key = ready_[i];
+  while (i > 0) {
+    unsigned parent = (i - 1) / 2;
+    if (ready_[parent] <= key) break;
+    ready_[i] = ready_[parent];
+    heap_pos_[ready_[i] & 63] = static_cast<unsigned char>(i);
+    i = parent;
   }
-  return best;
+  ready_[i] = key;
+  heap_pos_[key & 63] = static_cast<unsigned char>(i);
 }
 
-}  // namespace
-
-void Runtime::dispatch_loop() {
-  unsigned prev = kNobody;
+void Runtime::heap_sift_down(unsigned i) {
+  std::uint64_t key = ready_[i];
   for (;;) {
-    unsigned next = min_clock_thread(threads);
-    if (next == kNobody) return;  // all virtual threads finished
-    if (PTO_UNLIKELY(telemetry::trace_sched_on()) && next != prev) {
+    unsigned child = 2 * i + 1;
+    if (child >= ready_size_) break;
+    if (child + 1 < ready_size_ && ready_[child + 1] < ready_[child]) ++child;
+    if (ready_[child] >= key) break;
+    ready_[i] = ready_[child];
+    heap_pos_[ready_[i] & 63] = static_cast<unsigned char>(i);
+    i = child;
+  }
+  ready_[i] = key;
+  heap_pos_[key & 63] = static_cast<unsigned char>(i);
+}
+
+void Runtime::heap_push(std::uint64_t key) {
+  ready_[ready_size_++] = key;
+  heap_sift_up(ready_size_ - 1);
+}
+
+unsigned Runtime::heap_pop_min() {
+  unsigned tid = static_cast<unsigned>(ready_[0] & 63);
+  heap_pos_[tid] = kNoPos;
+  --ready_size_;
+  if (ready_size_ != 0) {
+    ready_[0] = ready_[ready_size_];
+    heap_sift_down(0);
+  }
+  return tid;
+}
+
+unsigned Runtime::heap_replace_min(std::uint64_t key) {
+  unsigned tid = static_cast<unsigned>(ready_[0] & 63);
+  heap_pos_[tid] = kNoPos;
+  ready_[0] = key;
+  heap_sift_down(0);
+  return tid;
+}
+
+void Runtime::run_all() {
+  ready_size_ = 0;
+  for (unsigned i = 0; i < threads.size(); ++i) heap_pos_[i] = kNoPos;
+  // Ascending (clock=0, tid) keys already satisfy the heap property.
+  for (unsigned i = 1; i < threads.size(); ++i) {
+    ready_[ready_size_] = pack(0, i);
+    heap_pos_[i] = static_cast<unsigned char>(ready_size_);
+    ++ready_size_;
+  }
+  cur = 0;
+  refresh_threshold();
+  ++threads[0].stats.dispatches;
+  if (PTO_UNLIKELY(telemetry::trace_sched_on())) {
+    telemetry::trace_sched(0, threads[0].clock);
+  }
+  ctx_switch(main_ctx, threads[0].fiber->context());
+  // Resumed by on_fiber_done() of the last finishing fiber.
+}
+
+void Runtime::yield_to_next() {
+  unsigned prev = cur;
+  VThread& t = threads[prev];
+  // The root is strictly behind us (charge checked), so it is the global
+  // minimum; swap ourselves in with our advanced clock.
+  unsigned next = heap_replace_min(pack(t.clock, prev));
+  cur = next;
+  refresh_threshold();
+  ++threads[next].stats.dispatches;
+  if (PTO_UNLIKELY(telemetry::trace_sched_on())) {
+    telemetry::trace_sched(next, threads[next].clock);
+  }
+  ctx_switch(t.fiber->context(), threads[next].fiber->context());
+}
+
+void Runtime::on_fiber_done() {
+  VThread& t = threads[cur];
+  t.done = true;
+  if (ready_size_ == 0) {
+    ctx_switch(t.fiber->context(), main_ctx);  // back to run() teardown
+  } else {
+    unsigned next = heap_pop_min();
+    cur = next;
+    refresh_threshold();
+    ++threads[next].stats.dispatches;
+    if (PTO_UNLIKELY(telemetry::trace_sched_on())) {
       telemetry::trace_sched(next, threads[next].clock);
     }
-    prev = next;
-    cur = next;
-    swapcontext(&main_ctx, threads[next].fiber->context());
+    ctx_switch(t.fiber->context(), threads[next].fiber->context());
   }
+  std::abort();  // a finished fiber is never rescheduled
 }
 
-void Runtime::charge(std::uint64_t cost) {
-  VThread& t = me();
-  t.clock += cost;
-  // Yield if some other runnable thread is now strictly behind us; the
-  // dispatcher will pick it (or us again, if we remain the minimum).
-  for (unsigned i = 0; i < threads.size(); ++i) {
-    if (i != cur && !threads[i].done && threads[i].clock < t.clock) {
-      swapcontext(t.fiber->context(), &main_ctx);
-      return;
-    }
-  }
+void Runtime::on_clock_raised(unsigned tid) {
+  assert(tid != cur && heap_pos_[tid] != kNoPos);
+  unsigned i = heap_pos_[tid];
+  ready_[i] = pack(threads[tid].clock, tid);
+  heap_sift_down(i);  // clocks only increase
+  refresh_threshold();
 }
 
 }  // namespace pto::sim::internal

@@ -80,6 +80,9 @@ struct Config {
 };
 
 struct ThreadStats {
+  /// Times this virtual thread was switched to (including its first
+  /// dispatch); the scheduler-invariant tests key off this.
+  std::uint64_t dispatches = 0;
   std::uint64_t loads = 0, stores = 0, cas_ops = 0, rmws = 0;
   std::uint64_t fences = 0, fences_elided = 0;
   std::uint64_t allocs = 0, frees = 0;

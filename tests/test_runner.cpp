@@ -1,0 +1,61 @@
+// RunnerOptions environment parsing: valid overrides apply, malformed or
+// zero values fall back to defaults with a (once-per-variable) stderr
+// warning so sweep misconfigurations are not invisible.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "benchutil/runner.h"
+
+namespace {
+
+using pto::bench::RunnerOptions;
+
+class RunnerEnv : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    unsetenv("PTO_BENCH_OPS");
+    unsetenv("PTO_BENCH_TRIALS");
+    unsetenv("PTO_BENCH_MAXT");
+  }
+};
+
+TEST_F(RunnerEnv, ValidOverridesApply) {
+  setenv("PTO_BENCH_OPS", "1234", 1);
+  setenv("PTO_BENCH_TRIALS", "7", 1);
+  setenv("PTO_BENCH_MAXT", "16", 1);
+  RunnerOptions o = RunnerOptions::from_env();
+  EXPECT_EQ(o.ops_per_thread, 1234u);
+  EXPECT_EQ(o.trials, 7u);
+  EXPECT_EQ(o.max_threads, 16u);
+}
+
+TEST_F(RunnerEnv, MalformedValueWarnsAndKeepsDefault) {
+  const RunnerOptions defaults;
+  setenv("PTO_BENCH_OPS", "not-a-number", 1);
+  ::testing::internal::CaptureStderr();
+  RunnerOptions o = RunnerOptions::from_env();
+  std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(o.ops_per_thread, defaults.ops_per_thread);
+  EXPECT_NE(err.find("PTO_BENCH_OPS"), std::string::npos) << err;
+  EXPECT_NE(err.find("not-a-number"), std::string::npos) << err;
+  // Warned once per variable: a second parse of the same bad value is quiet.
+  ::testing::internal::CaptureStderr();
+  (void)RunnerOptions::from_env();
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+}
+
+TEST_F(RunnerEnv, ZeroAndTrailingJunkRejected) {
+  const RunnerOptions defaults;
+  setenv("PTO_BENCH_TRIALS", "0", 1);
+  setenv("PTO_BENCH_MAXT", "12abc", 1);
+  ::testing::internal::CaptureStderr();
+  RunnerOptions o = RunnerOptions::from_env();
+  std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(o.trials, defaults.trials);
+  EXPECT_EQ(o.max_threads, defaults.max_threads);
+  EXPECT_NE(err.find("PTO_BENCH_TRIALS"), std::string::npos) << err;
+  EXPECT_NE(err.find("PTO_BENCH_MAXT"), std::string::npos) << err;
+}
+
+}  // namespace
