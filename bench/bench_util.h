@@ -15,6 +15,7 @@
 #include "benchutil/series.h"
 #include "sim/sim.h"
 #include "telemetry/emit.h"
+#include "telemetry/prof.h"
 #include "telemetry/registry.h"
 
 namespace pto::bench {
@@ -39,6 +40,12 @@ void run_variant(Figure& fig, const RunnerOptions& opts,
   // the full abort/fallback breakdown; otherwise output is unchanged.
   const bool emit =
       telemetry::stats_format() != telemetry::StatsFormat::kOff;
+  // With PTO_PROF set, the profiler accumulates this variant into its own
+  // scope so the end-of-run report answers "where did the speedup come from"
+  // per series.
+  if (telemetry::prof::on()) {
+    telemetry::prof::set_scope(fig.id + "/" + name);
+  }
   for (int threads : fig.xs) {
     double sum = 0.0;
     telemetry::BenchPoint pt;

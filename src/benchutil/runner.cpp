@@ -6,6 +6,7 @@
 #include <string>
 
 #include "telemetry/emit.h"
+#include "telemetry/prof.h"
 #include "telemetry/registry.h"
 
 namespace pto::bench {
@@ -53,6 +54,14 @@ double measure_point(
   const bool emit =
       telemetry::stats_format() != telemetry::StatsFormat::kOff &&
       bench != nullptr;
+  if (telemetry::prof::on() && bench != nullptr) {
+    std::string scope = bench;
+    if (series != nullptr && *series != '\0') {
+      scope += '/';
+      scope += series;
+    }
+    telemetry::prof::set_scope(scope);
+  }
   telemetry::BenchPoint pt;
   PrefixStats reg_before;
   if (emit) reg_before = telemetry::registry_totals();

@@ -1,0 +1,32 @@
+// Build provenance baked in at configure time (src/CMakeLists.txt), so every
+// structured bench record is a reproducible artifact: which commit, which
+// optimization level, which fiber backend produced it.
+#pragma once
+
+namespace pto {
+
+inline const char* build_git_sha() {
+#ifdef PTO_GIT_SHA
+  return PTO_GIT_SHA;
+#else
+  return "unknown";
+#endif
+}
+
+inline const char* build_type() {
+#ifdef PTO_BUILD_TYPE
+  return PTO_BUILD_TYPE;
+#else
+  return "unknown";
+#endif
+}
+
+inline const char* fiber_backend() {
+#ifdef PTO_FAST_FIBER
+  return "fast_fiber";
+#else
+  return "ucontext";
+#endif
+}
+
+}  // namespace pto

@@ -68,6 +68,7 @@ void site_attempt(Site* site);
 void site_commit(Site* site);
 void site_abort(Site* site, unsigned cause);
 void site_fallback(Site* site);
+void site_fallback_end(Site* site);
 }  // namespace telemetry
 
 /// Statistics sink for prefix(): an optional exact per-thread PrefixStats
@@ -98,6 +99,11 @@ class StatsHandle {
   void fallback() const {
     if (local_ != nullptr) ++local_->fallbacks;
     if (site_ != nullptr) telemetry::site_fallback(site_);
+  }
+  /// Closes the fallback/fallback_done bracket so the profiler
+  /// (telemetry/prof.h) can attribute the slow path's cycles; counts nothing.
+  void fallback_done() const {
+    if (site_ != nullptr) telemetry::site_fallback_end(site_);
   }
 
  private:
@@ -156,7 +162,15 @@ auto prefix(PrefixPolicy pol, Fast&& fast, Slow&& slow,
     }
   }
   st.fallback();
-  return slow();
+  if constexpr (std::is_void_v<R>) {
+    slow();
+    st.fallback_done();
+    return;
+  } else {
+    R r = slow();
+    st.fallback_done();
+    return r;
+  }
 }
 
 /// Convenience overload: attempts only.

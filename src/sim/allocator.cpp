@@ -3,7 +3,11 @@
 
 #include <cstring>
 
+#include "telemetry/prof.h"
+
 namespace pto::sim::internal {
+
+namespace prof = ::pto::telemetry::prof;
 
 void* Arena::allocate(std::size_t bytes) {
   // Round to whole cache lines so distinct allocations never share a line
@@ -27,6 +31,9 @@ void* Runtime::do_alloc(std::size_t bytes) {
   check_doom();
   VThread& t = me();
   ++t.stats.allocs;
+  // The prof bracket reclasses the refill RMW below as allocator traffic;
+  // an abort longjmp through do_fetch_add clears it via on_abort_unwind.
+  if (PTO_UNLIKELY(prof::on())) prof::on_alloc_enter();
   // Thread-cached allocator model: the fast path costs cost.alloc; every
   // kTcacheRefill-th allocation refills from the shared arena, modeled as an
   // RMW on a global word — concurrent refills pay coherence misses, and a
@@ -37,6 +44,10 @@ void* Runtime::do_alloc(std::size_t bytes) {
     (void)unused;
   }
   void* p = g_mem.arena.allocate(bytes);
+  if (PTO_UNLIKELY(prof::on())) {
+    prof::on_charge(prof::kClassAlloc, cfg.cost.alloc);
+    prof::on_alloc_exit();
+  }
   charge(cfg.cost.alloc);
   check_doom();
   return p;
@@ -49,6 +60,7 @@ void Runtime::do_dealloc(void* p, std::size_t bytes) {
   // commit; fallbacks retire through epochs, outside transactions).
   assert(!t.tx.active && "dealloc inside a transaction is not supported");
   ++t.stats.frees;
+  if (PTO_UNLIKELY(prof::on())) prof::on_alloc_enter();
   if (++t.alloc_tick % kTcacheRefill == 0) {
     std::uint64_t unused = do_fetch_add(&g_mem.alloc_word, 8, 1);
     (void)unused;
@@ -61,18 +73,22 @@ void Runtime::do_dealloc(void* p, std::size_t bytes) {
     // Freeing is a write: any transaction still holding the line is the
     // victim (this is what makes epoch elision inside transactions safe).
     if (L.tx_writer != kNobody && L.tx_writer != cur) {
-      doom(L.tx_writer, TX_ABORT_CONFLICT);
+      doom(L.tx_writer, TX_ABORT_CONFLICT, la);
     }
     std::uint64_t victims = L.tx_readers & ~bit(cur);
     while (victims != 0) {
       unsigned v = static_cast<unsigned>(__builtin_ctzll(victims));
       victims &= victims - 1;
-      doom(v, TX_ABORT_CONFLICT);
+      doom(v, TX_ABORT_CONFLICT, la);
     }
     L.freed = true;
     L.sharers = bit(cur);
   }
   if (cfg.trap_use_after_free) std::memset(p, 0xDD, bytes);
+  if (PTO_UNLIKELY(prof::on())) {
+    prof::on_charge(prof::kClassAlloc, cfg.cost.dealloc);
+    prof::on_alloc_exit();
+  }
   charge(cfg.cost.dealloc);
   check_doom();
 }

@@ -2,9 +2,12 @@
 // requester-wins conflict resolution, capacity/duration/spurious aborts.
 #include "sim/runtime_internal.h"
 
+#include "telemetry/prof.h"
 #include "telemetry/trace.h"
 
 namespace pto::sim::internal {
+
+namespace prof = ::pto::telemetry::prof;
 
 void Runtime::release_tx_footprint(TxDesc& tx, unsigned tid) {
   // Tracked lines are held as direct LineState pointers (regions never move
@@ -18,7 +21,7 @@ void Runtime::release_tx_footprint(TxDesc& tx, unsigned tid) {
   tx.undo.clear();
 }
 
-void Runtime::doom(unsigned victim, unsigned cause) {
+void Runtime::doom(unsigned victim, unsigned cause, std::uintptr_t line) {
   VThread& vt = threads[victim];
   TxDesc& tx = vt.tx;
   assert(tx.active && !tx.doomed && victim != cur);
@@ -39,6 +42,12 @@ void Runtime::doom(unsigned victim, unsigned cause) {
   if (PTO_UNLIKELY(telemetry::trace_on())) {
     telemetry::trace_tx_abort(victim, tx.start, vt.clock, cause);
   }
+  if (PTO_UNLIKELY(prof::on())) {
+    // The current thread is the aggressor whose access doomed the victim;
+    // everything since the victim's outermost begin (penalty included) is
+    // wasted speculative work.
+    prof::on_conflict(victim, cur, line, vt.clock - tx.start);
+  }
 }
 
 void Runtime::check_doom() {
@@ -49,6 +58,7 @@ void Runtime::check_doom() {
   tx.doomed = false;
   tx.active = false;
   tx.depth = 0;
+  if (PTO_UNLIKELY(prof::on())) prof::on_abort_unwind();
   std::longjmp(tx.env, static_cast<int>(cause));
 }
 
@@ -69,6 +79,7 @@ void Runtime::self_abort(unsigned cause, unsigned char user_code) {
   }
   tx.active = false;
   tx.depth = 0;
+  if (PTO_UNLIKELY(prof::on())) prof::on_abort_unwind();
   std::longjmp(tx.env, static_cast<int>(cause));
 }
 
@@ -102,6 +113,9 @@ unsigned tx_begin() {
     ++t.tx.depth;
     return TX_STARTED;
   }
+  if (PTO_UNLIKELY(prof::on())) {
+    prof::on_charge(prof::kClassTxOverhead, rt.cfg.cost.tx_begin);
+  }
   rt.charge(rt.cfg.cost.tx_begin);
   // Cannot be doomed here: tx was not active while we were switched out.
   TxDesc& tx = t.tx;
@@ -110,6 +124,7 @@ unsigned tx_begin() {
   tx.start = t.clock;
   tx.user_code = TX_CODE_NONE;
   t.stats.tx_started++;
+  if (PTO_UNLIKELY(prof::on())) prof::on_tx_begin();
   return TX_STARTED;
 }
 
@@ -131,6 +146,10 @@ void tx_end() {
   t.stats.tx_cycles += t.clock - tx.start;
   if (PTO_UNLIKELY(telemetry::trace_on())) {
     telemetry::trace_tx_commit(rt.cur, tx.start, t.clock);
+  }
+  if (PTO_UNLIKELY(prof::on())) {
+    prof::on_tx_commit();
+    prof::on_charge(prof::kClassTxOverhead, rt.cfg.cost.tx_commit);
   }
   rt.charge(rt.cfg.cost.tx_commit);
 }

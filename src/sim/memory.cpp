@@ -4,9 +4,12 @@
 
 #include <cstring>
 
+#include "telemetry/prof.h"
 #include "telemetry/trace.h"
 
 namespace pto::sim::internal {
+
+namespace prof = ::pto::telemetry::prof;
 
 // ---------------------------------------------------------------------------
 // LineTable cold paths. The hot lookup (runtime_internal.h) is a single
@@ -70,18 +73,20 @@ std::uintptr_t line_addr(const void* addr) {
 }
 
 /// Doom every transactional reader of L other than `self`.
-void doom_other_readers(Runtime& rt, LineState& L, unsigned self) {
+void doom_other_readers(Runtime& rt, LineState& L, unsigned self,
+                        std::uintptr_t la) {
   std::uint64_t victims = L.tx_readers & ~bit(self);
   while (victims != 0) {
     unsigned v = static_cast<unsigned>(__builtin_ctzll(victims));
     victims &= victims - 1;
-    rt.doom(v, TX_ABORT_CONFLICT);
+    rt.doom(v, TX_ABORT_CONFLICT, la);
   }
 }
 
-void doom_other_writer(Runtime& rt, LineState& L, unsigned self) {
+void doom_other_writer(Runtime& rt, LineState& L, unsigned self,
+                       std::uintptr_t la) {
   if (L.tx_writer != kNobody && L.tx_writer != self) {
-    rt.doom(L.tx_writer, TX_ABORT_CONFLICT);
+    rt.doom(L.tx_writer, TX_ABORT_CONFLICT, la);
   }
 }
 
@@ -114,25 +119,27 @@ std::uint64_t Runtime::do_load(const void* addr, unsigned size) {
   VThread& t = me();
   LineState& L = line_of(addr);
   if (PTO_UNLIKELY(L.freed)) ++g_mem.uaf_count;
+  std::uintptr_t la = line_addr(addr);
   std::uint64_t cost = cfg.cost.load_hit;
   if (!(L.sharers & bit(cur))) {
     cost += cfg.cost.coherence_miss;
     L.sharers |= bit(cur);
     if (PTO_UNLIKELY(telemetry::trace_on())) {
-      telemetry::trace_miss(cur, t.clock, line_addr(addr));
+      telemetry::trace_miss(cur, t.clock, la);
     }
   }
   if (t.tx.active) {
     tx_access_checks();
-    doom_other_writer(*this, L, cur);  // requester wins
+    doom_other_writer(*this, L, cur, la);  // requester wins
     tx_track_read(*this, L);
   } else {
     // Strong atomicity: a non-transactional read of a transactionally
     // written line aborts the transaction (Intel requester-wins, paper §4.3).
-    doom_other_writer(*this, L, cur);
+    doom_other_writer(*this, L, cur, la);
   }
   ++t.stats.loads;
   std::uint64_t v = raw_read(addr, size);
+  if (PTO_UNLIKELY(prof::on())) prof::on_charge(prof::kClassLoad, cost);
   charge(cost);
   check_doom();  // doomed while yielded => value invalid; longjmps
   return v;
@@ -143,26 +150,28 @@ void Runtime::do_store(void* addr, unsigned size, std::uint64_t val) {
   VThread& t = me();
   LineState& L = line_of(addr);
   if (PTO_UNLIKELY(L.freed)) ++g_mem.uaf_count;
+  std::uintptr_t la = line_addr(addr);
   std::uint64_t cost = cfg.cost.store_hit;
   if (L.sharers & ~bit(cur)) {
     cost += cfg.cost.coherence_miss;
     if (PTO_UNLIKELY(telemetry::trace_on())) {
-      telemetry::trace_miss(cur, t.clock, line_addr(addr));
+      telemetry::trace_miss(cur, t.clock, la);
     }
   }
   L.sharers = bit(cur);
   if (t.tx.active) {
     tx_access_checks();
-    doom_other_writer(*this, L, cur);
-    doom_other_readers(*this, L, cur);
+    doom_other_writer(*this, L, cur, la);
+    doom_other_readers(*this, L, cur, la);
     tx_track_write(*this, L);
     t.tx.undo.push_back({addr, size, raw_read(addr, size)});
   } else {
-    doom_other_writer(*this, L, cur);
-    doom_other_readers(*this, L, cur);
+    doom_other_writer(*this, L, cur, la);
+    doom_other_readers(*this, L, cur, la);
   }
   ++t.stats.stores;
   raw_write(addr, size, val);
+  if (PTO_UNLIKELY(prof::on())) prof::on_charge(prof::kClassStore, cost);
   charge(cost);
   check_doom();
 }
@@ -180,12 +189,12 @@ bool Runtime::do_cas(void* addr, unsigned size, std::uint64_t& expected,
     // Inside a transaction a CAS degenerates to load + branch + store
     // (paper §2.3, "Eliminating Synchronization").
     tx_access_checks();
-    doom_other_writer(*this, L, cur);
+    doom_other_writer(*this, L, cur, la);
     tx_track_read(*this, L);
     std::uint64_t curv = raw_read(addr, size);
     ok = (curv == expected);
     if (ok) {
-      doom_other_readers(*this, L, cur);
+      doom_other_readers(*this, L, cur, la);
       tx_track_write(*this, L);
       t.tx.undo.push_back({addr, size, curv});
       raw_write(addr, size, desired);
@@ -193,6 +202,9 @@ bool Runtime::do_cas(void* addr, unsigned size, std::uint64_t& expected,
     } else {
       expected = curv;
       cost = cfg.cost.load_hit;
+    }
+    if (PTO_UNLIKELY(prof::on())) {
+      prof::on_cas_collapsed(cfg.cost.cas > cost ? cfg.cost.cas - cost : 0);
     }
     if (!(L.sharers & bit(cur))) {
       cost += cfg.cost.coherence_miss;
@@ -203,8 +215,8 @@ bool Runtime::do_cas(void* addr, unsigned size, std::uint64_t& expected,
     L.sharers |= bit(cur);
   } else {
     // A CAS takes the line exclusive whether or not it succeeds.
-    doom_other_writer(*this, L, cur);
-    doom_other_readers(*this, L, cur);
+    doom_other_writer(*this, L, cur, la);
+    doom_other_readers(*this, L, cur, la);
     cost = cfg.cost.cas;
     if (L.sharers & ~bit(cur)) {
       cost += cfg.cost.coherence_miss;
@@ -222,6 +234,7 @@ bool Runtime::do_cas(void* addr, unsigned size, std::uint64_t& expected,
     }
   }
   ++t.stats.cas_ops;
+  if (PTO_UNLIKELY(prof::on())) prof::on_charge(prof::kClassSync, cost);
   charge(cost);
   check_doom();
   return ok;
@@ -237,15 +250,18 @@ std::uint64_t Runtime::do_fetch_add(void* addr, unsigned size,
   std::uint64_t cost;
   if (t.tx.active) {
     tx_access_checks();
-    doom_other_writer(*this, L, cur);
-    doom_other_readers(*this, L, cur);
+    doom_other_writer(*this, L, cur, la);
+    doom_other_readers(*this, L, cur, la);
     tx_track_read(*this, L);
     tx_track_write(*this, L);
     t.tx.undo.push_back({addr, size, raw_read(addr, size)});
     cost = cfg.cost.load_hit + cfg.cost.store_hit;
+    if (PTO_UNLIKELY(prof::on())) {
+      prof::on_cas_collapsed(cfg.cost.cas > cost ? cfg.cost.cas - cost : 0);
+    }
   } else {
-    doom_other_writer(*this, L, cur);
-    doom_other_readers(*this, L, cur);
+    doom_other_writer(*this, L, cur, la);
+    doom_other_readers(*this, L, cur, la);
     cost = cfg.cost.cas;
   }
   if (L.sharers & ~bit(cur)) {
@@ -258,6 +274,9 @@ std::uint64_t Runtime::do_fetch_add(void* addr, unsigned size,
   std::uint64_t old = raw_read(addr, size);
   raw_write(addr, size, old + delta);
   ++t.stats.rmws;
+  // Classed kClassSync unless we are inside the allocator bracket, where
+  // prof::on_charge reclasses it as allocation traffic.
+  if (PTO_UNLIKELY(prof::on())) prof::on_charge(prof::kClassSync, cost);
   charge(cost);
   check_doom();
   return old;
@@ -268,9 +287,13 @@ void Runtime::do_fence() {
   VThread& t = me();
   if (t.tx.active && !cfg.fences_in_tx) {
     ++t.stats.fences_elided;
+    if (PTO_UNLIKELY(prof::on())) prof::on_fence_elided(cfg.cost.fence);
     return;
   }
   ++t.stats.fences;
+  if (PTO_UNLIKELY(prof::on())) {
+    prof::on_charge(prof::kClassFence, cfg.cost.fence);
+  }
   charge(cfg.cost.fence);
   check_doom();
 }

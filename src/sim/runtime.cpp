@@ -4,9 +4,12 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "telemetry/prof.h"
 #include "telemetry/trace.h"
 
 namespace pto::sim {
+
+namespace prof = ::pto::telemetry::prof;
 
 namespace internal {
 
@@ -128,12 +131,18 @@ std::uint64_t rnd() {
 void op_done(std::uint64_t n) {
   if (g_rt == nullptr) return;
   g_rt->me().stats.ops_completed += n;
+  if (PTO_UNLIKELY(prof::on())) {
+    prof::on_charge(prof::kClassBench, n * g_rt->cfg.cost.bench_op_overhead);
+  }
   g_rt->charge(n * g_rt->cfg.cost.bench_op_overhead);
   g_rt->check_doom();
 }
 
 void cpu_pause() {
   if (!g_rt) return;
+  if (PTO_UNLIKELY(prof::on())) {
+    prof::on_charge(prof::kClassPause, g_rt->cfg.cost.pause);
+  }
   g_rt->charge(g_rt->cfg.cost.pause);
   g_rt->check_doom();
 }

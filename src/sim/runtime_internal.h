@@ -215,7 +215,9 @@ class Runtime {
 
   // htm_model.cpp
   /// Roll back and doom the transaction of `victim` (requester wins).
-  void doom(unsigned victim, unsigned cause);
+  /// `line` is the faulting line index (addr / kCacheLine) for conflict
+  /// attribution (telemetry/prof.h); pass 0 for non-conflict causes.
+  void doom(unsigned victim, unsigned cause, std::uintptr_t line);
   /// Abort the *current* thread's transaction and longjmp out. Never returns.
   [[noreturn]] void self_abort(unsigned cause, unsigned char user_code);
   /// If the current thread's tx was doomed while it was switched out,

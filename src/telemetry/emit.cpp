@@ -6,6 +6,7 @@
 #include <iostream>
 #include <ostream>
 
+#include "common/buildinfo.h"
 #include "telemetry/registry.h"
 
 namespace pto::telemetry {
@@ -79,6 +80,28 @@ double tx_cycle_share(const BenchPoint& p) {
                                  static_cast<double>(p.cpu_cycles);
 }
 
+/// RFC 4180 CSV field quoting: fields containing comma, quote, or newline
+/// are wrapped in quotes with embedded quotes doubled.
+void csv_str(std::ostream& os, const std::string& v) {
+  if (v.find_first_of(",\"\n\r") == std::string::npos) {
+    os << v;
+    return;
+  }
+  os << '"';
+  for (char c : v) {
+    if (c == '"') os << "\"\"";
+    else os << c;
+  }
+  os << '"';
+}
+
+const std::string& or_default(const std::string& v, const char* dflt) {
+  static thread_local std::string tmp;
+  if (!v.empty()) return v;
+  tmp = dflt;
+  return tmp;
+}
+
 void emit_json(std::ostream& os, const BenchPoint& p) {
   os << "{\"type\":\"bench_point\",\"bench\":";
   json_str(os, p.bench);
@@ -107,6 +130,12 @@ void emit_json(std::ostream& os, const BenchPoint& p) {
      << ",\"prefix_fallbacks\":" << p.prefix.fallbacks
      << ",\"fallback_fraction\":";
   num(os, fallback_fraction(p.prefix));
+  os << ",\"git_sha\":";
+  json_str(os, or_default(p.git_sha, build_git_sha()));
+  os << ",\"build_type\":";
+  json_str(os, or_default(p.build_type, build_type()));
+  os << ",\"fiber_backend\":";
+  json_str(os, or_default(p.fiber_backend, fiber_backend()));
   os << "}\n";
 }
 
@@ -118,9 +147,13 @@ void emit_csv(std::ostream& os, const BenchPoint& p, bool header) {
       os << ",aborts_" << tx_code_name(c);
     }
     os << ",abort_total,fences,fences_elided,allocs,frees,prefix_attempts,"
-          "prefix_commits,prefix_fallbacks,fallback_fraction\n";
+          "prefix_commits,prefix_fallbacks,fallback_fraction,git_sha,"
+          "build_type,fiber_backend\n";
   }
-  os << p.bench << ',' << p.series << ',' << p.threads << ',' << p.trials
+  csv_str(os, p.bench);
+  os << ',';
+  csv_str(os, p.series);
+  os << ',' << p.threads << ',' << p.trials
      << ',' << p.sim.ops_completed << ',';
   num(os, p.ops_per_ms);
   os << ',' << p.makespan << ',' << p.cpu_cycles << ',' << p.sim.tx_started
@@ -132,6 +165,12 @@ void emit_csv(std::ostream& os, const BenchPoint& p, bool header) {
      << ',' << p.prefix.attempts << ',' << p.prefix.commits << ','
      << p.prefix.fallbacks << ',';
   num(os, fallback_fraction(p.prefix));
+  os << ',';
+  csv_str(os, or_default(p.git_sha, build_git_sha()));
+  os << ',';
+  csv_str(os, or_default(p.build_type, build_type()));
+  os << ',';
+  csv_str(os, or_default(p.fiber_backend, fiber_backend()));
   os << '\n';
 }
 

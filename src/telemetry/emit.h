@@ -42,6 +42,11 @@ struct BenchPoint {
   std::uint64_t cpu_cycles = 0;  ///< sum of final per-thread clocks
   sim::ThreadStats sim;          ///< simulator totals, summed over trials
   PrefixStats prefix;            ///< telemetry-registry delta for the point
+  // Run provenance; left empty they are filled from common/buildinfo.h at
+  // emission so every record names the commit/build/backend that produced it.
+  std::string git_sha;
+  std::string build_type;
+  std::string fiber_backend;
 };
 
 /// Emit `p` in the active format; no-op when stats_format() == kOff.

@@ -6,6 +6,7 @@
 #include <ostream>
 
 #include "sim/sim.h"
+#include "telemetry/prof.h"
 
 namespace pto::telemetry {
 
@@ -150,19 +151,28 @@ PrefixStats registry_delta(const PrefixStats& before) {
 }
 
 // Hooks referenced from core/prefix.h (declared there to avoid an include
-// cycle). Each is a no-op unless telemetry is enabled.
+// cycle). Each is a no-op unless telemetry is enabled. The profiler
+// (telemetry/prof.h) taps the same stream under its own independent gate so
+// PTO_PROF works without PTO_TELEMETRY.
 
 void site_attempt(Site* site) {
   if (enabled()) site->record_attempt();
+  if (PTO_UNLIKELY(prof::on())) prof::on_site_attempt(site);
 }
 void site_commit(Site* site) {
   if (enabled()) site->record_commit();
+  if (PTO_UNLIKELY(prof::on())) prof::on_site_commit(site);
 }
 void site_abort(Site* site, unsigned cause) {
   if (enabled()) site->record_abort(cause);
+  if (PTO_UNLIKELY(prof::on())) prof::on_site_abort(site, cause);
 }
 void site_fallback(Site* site) {
   if (enabled()) site->record_fallback();
+  if (PTO_UNLIKELY(prof::on())) prof::on_site_fallback(site);
+}
+void site_fallback_end(Site* site) {
+  if (PTO_UNLIKELY(prof::on())) prof::on_site_fallback_end(site);
 }
 
 }  // namespace pto::telemetry

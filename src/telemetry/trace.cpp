@@ -28,7 +28,16 @@ enum Kind : std::uint8_t {
   kTxAbort,
   kMiss,
   kSched,
+  kCounter,
 };
+
+const char* counter_name(unsigned id) {
+  switch (id) {
+    case 0: return "conflict_aborts";
+    case 1: return "doomed_cycles";
+    default: return "counter";
+  }
+}
 
 struct Rec {
   std::uint64_t ts;   ///< cycles (start cycle for tx events)
@@ -124,6 +133,10 @@ void write_event(std::ofstream& os, const Rec& r, bool& first) {
       emit("sched", "i", r.ts);
       os << ",\"s\":\"t\",\"args\":{}}";
       break;
+    case kCounter:
+      emit(counter_name(r.tid), "C", r.ts);
+      os << ",\"args\":{\"value\":" << r.arg << "}}";
+      break;
   }
 }
 
@@ -175,6 +188,12 @@ void trace_sched(unsigned tid, std::uint64_t cycle) {
   push(Rec{cycle, 0, 0, 0, static_cast<std::uint16_t>(tid), kSched});
 }
 
+void trace_counter(std::uint64_t cycle, unsigned counter_id,
+                   std::uint64_t value) {
+  push(Rec{cycle, 0, value, 0, static_cast<std::uint16_t>(counter_id),
+           kCounter});
+}
+
 void trace_flush() {
   State& s = state();
   if (s.path.empty()) return;
@@ -191,6 +210,16 @@ void trace_flush() {
   }
   os << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped\":" << dropped
      << ",\"cycles_per_us\":" << kCyclesPerUs << "}}\n";
+  if (dropped > 0) {
+    // A truncated trace silently read as complete misleads every analysis
+    // downstream; say so once per flush.
+    std::fprintf(stderr,
+                 "[pto] warning: trace ring full, dropped %llu of %llu events "
+                 "(raise PTO_TRACE_CAP, currently %llu)\n",
+                 static_cast<unsigned long long>(dropped),
+                 static_cast<unsigned long long>(s.count),
+                 static_cast<unsigned long long>(s.cap));
+  }
 }
 
 }  // namespace pto::telemetry

@@ -52,6 +52,11 @@ void trace_tx_abort(unsigned tid, std::uint64_t start_cycle,
                     std::uint64_t end_cycle, unsigned cause);
 void trace_miss(unsigned tid, std::uint64_t cycle, std::uint64_t line);
 void trace_sched(unsigned tid, std::uint64_t cycle);
+/// Counter-track sample ("ph":"C"): cumulative `value` on the counter named
+/// by `counter_id` (0 = conflict_aborts, 1 = doomed_cycles). Fed by the
+/// profiler (telemetry/prof.h) when both PTO_TRACE and PTO_PROF are on.
+void trace_counter(std::uint64_t cycle, unsigned counter_id,
+                   std::uint64_t value);
 
 /// Write the Chrome trace JSON file (truncates and rewrites). Called
 /// automatically at the end of each sim::run() while tracing is on.

@@ -1,0 +1,215 @@
+// Structured bench emission (telemetry/emit.cpp): CSV header discipline,
+// RFC 4180 field escaping for hostile series names, and json/csv round-trip
+// of the per-cause abort buckets.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "htm/txcode.h"
+#include "json_util.h"
+#include "telemetry/emit.h"
+
+namespace {
+
+namespace telemetry = pto::telemetry;
+using telemetry::BenchPoint;
+using telemetry::StatsFormat;
+
+/// RAII: route emission into a stringstream, restore defaults afterwards.
+struct Capture {
+  std::ostringstream os;
+  explicit Capture(StatsFormat f) {
+    telemetry::set_stats_stream(&os);
+    telemetry::set_stats_format(f);
+  }
+  ~Capture() {
+    telemetry::set_stats_format(StatsFormat::kOff);
+    telemetry::set_stats_stream(nullptr);
+  }
+};
+
+BenchPoint sample_point() {
+  BenchPoint p;
+  p.bench = "fig3a";
+  p.series = "Tree(PTO)";
+  p.threads = 4;
+  p.trials = 5;
+  p.ops_per_ms = 123.5;
+  p.makespan = 1000;
+  p.cpu_cycles = 4000;
+  p.sim.ops_completed = 2048;
+  p.sim.tx_started = 900;
+  p.sim.tx_commits = 800;
+  for (unsigned c = 0; c < pto::kTxCodeCount; ++c) p.sim.tx_aborts[c] = 0;
+  p.sim.tx_aborts[pto::TX_ABORT_CONFLICT] = 61;
+  p.sim.tx_aborts[pto::TX_ABORT_CAPACITY] = 7;
+  p.sim.tx_aborts[pto::TX_ABORT_EXPLICIT] = 3;
+  return p;
+}
+
+std::vector<std::string> split_lines(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream is(s);
+  std::string line;
+  while (std::getline(is, line)) out.push_back(line);
+  return out;
+}
+
+/// Quote-aware CSV row splitter (RFC 4180): commas inside quoted fields do
+/// not split; doubled quotes inside quoted fields unescape to one quote.
+std::vector<std::string> split_csv(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur.push_back('"');
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cur.push_back(c);
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      fields.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  fields.push_back(cur);
+  return fields;
+}
+
+int field_index(const std::vector<std::string>& header,
+                const std::string& name) {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+TEST(Emit, CsvHeaderEmittedOnce) {
+  Capture cap(StatsFormat::kCsv);
+  BenchPoint p = sample_point();
+  telemetry::emit_bench_point(p);
+  p.threads = 8;
+  telemetry::emit_bench_point(p);
+  telemetry::emit_bench_point(p);
+  auto lines = split_lines(cap.os.str());
+  ASSERT_EQ(lines.size(), 4u);  // 1 header + 3 data rows
+  EXPECT_EQ(lines[0].rfind("bench,series,", 0), 0u);
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    EXPECT_NE(lines[i].rfind("bench,", 0), 0u) << "repeated header at " << i;
+  }
+  // Every data row splits into exactly as many fields as the header.
+  auto header = split_csv(lines[0]);
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    EXPECT_EQ(split_csv(lines[i]).size(), header.size()) << "row " << i;
+  }
+}
+
+TEST(Emit, CsvHeaderResetsWithFormat) {
+  std::string first, second;
+  {
+    Capture cap(StatsFormat::kCsv);
+    telemetry::emit_bench_point(sample_point());
+    first = cap.os.str();
+  }
+  {
+    Capture cap(StatsFormat::kCsv);
+    telemetry::emit_bench_point(sample_point());
+    second = cap.os.str();
+  }
+  // A fresh format selection re-emits the header (new file, new header).
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(split_lines(second).size(), 2u);
+}
+
+TEST(Emit, CsvEscapesHostileSeriesNames) {
+  Capture cap(StatsFormat::kCsv);
+  BenchPoint p = sample_point();
+  p.bench = "fig5,b";
+  p.series = "Skip(PTO, \"fast\")";
+  telemetry::emit_bench_point(p);
+  auto lines = split_lines(cap.os.str());
+  ASSERT_EQ(lines.size(), 2u);
+  auto header = split_csv(lines[0]);
+  auto row = split_csv(lines[1]);
+  ASSERT_EQ(row.size(), header.size());
+  // The embedded comma and quotes survive the round-trip un-mangled and
+  // do not shift later columns.
+  EXPECT_EQ(row[static_cast<std::size_t>(field_index(header, "bench"))],
+            "fig5,b");
+  EXPECT_EQ(row[static_cast<std::size_t>(field_index(header, "series"))],
+            "Skip(PTO, \"fast\")");
+  EXPECT_EQ(row[static_cast<std::size_t>(field_index(header, "threads"))],
+            "4");
+}
+
+TEST(Emit, JsonCsvAbortBucketsRoundTrip) {
+  BenchPoint p = sample_point();
+
+  std::string json_text;
+  {
+    Capture cap(StatsFormat::kJson);
+    telemetry::emit_bench_point(p);
+    json_text = cap.os.str();
+  }
+  testjson::Value v;
+  ASSERT_TRUE(testjson::parse(json_text, &v)) << json_text;
+  const testjson::Value* aborts = v.find("aborts");
+  ASSERT_NE(aborts, nullptr);
+
+  std::string csv_text;
+  {
+    Capture cap(StatsFormat::kCsv);
+    telemetry::emit_bench_point(p);
+    csv_text = cap.os.str();
+  }
+  auto lines = split_lines(csv_text);
+  ASSERT_EQ(lines.size(), 2u);
+  auto header = split_csv(lines[0]);
+  auto row = split_csv(lines[1]);
+  ASSERT_EQ(row.size(), header.size());
+
+  // Each per-cause bucket appears in both formats with the value we put in.
+  std::uint64_t json_total = 0;
+  for (unsigned c = 0; c < pto::kTxCodeCount; ++c) {
+    const char* name = pto::tx_code_name(c);
+    const testjson::Value* jv = aborts->find(name);
+    ASSERT_NE(jv, nullptr) << name;
+    ASSERT_TRUE(jv->is_num());
+    const auto want = p.sim.tx_aborts[c];
+    EXPECT_EQ(static_cast<std::uint64_t>(jv->num()), want) << name;
+    const int col = field_index(header, std::string("aborts_") + name);
+    ASSERT_GE(col, 0) << name;
+    EXPECT_EQ(row[static_cast<std::size_t>(col)], std::to_string(want))
+        << name;
+    json_total += static_cast<std::uint64_t>(jv->num());
+  }
+  const testjson::Value* total = v.find("abort_total");
+  ASSERT_NE(total, nullptr);
+  EXPECT_EQ(static_cast<std::uint64_t>(total->num()), json_total);
+  EXPECT_EQ(json_total, 71u);
+
+  // Provenance fields are present and non-empty in both formats.
+  for (const char* key : {"git_sha", "build_type", "fiber_backend"}) {
+    const testjson::Value* jv = v.find(key);
+    ASSERT_NE(jv, nullptr) << key;
+    EXPECT_TRUE(jv->is_str()) << key;
+    const int col = field_index(header, key);
+    ASSERT_GE(col, 0) << key;
+    EXPECT_FALSE(row[static_cast<std::size_t>(col)].empty()) << key;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""CI perf gate for the simulator hot path.
+
+Compares a fresh BENCH_sim.json (written by bench/abl_sim_speed) against the
+committed baseline and fails when host throughput at any vthread count drops
+more than --tolerance below the baseline. The gate exists to catch
+order-of-magnitude hot-path regressions (e.g. a syscall or allocation creeping
+back into charge()/mem access), not single-digit jitter — hence a generous
+default tolerance and a deliberately conservative committed baseline.
+
+Usage:
+  check_sim_speed.py BASELINE CURRENT [--tolerance 0.25] [--key host_ops_per_sec]
+
+Exit status: 0 when every matched point is within tolerance, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_points(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("bench") != "abl_sim_speed":
+        raise SystemExit(f"{path}: not an abl_sim_speed dump")
+    return {p["vthreads"]: p for p in doc.get("points", [])}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="maximum allowed fractional drop below baseline (default 0.25)",
+    )
+    ap.add_argument(
+        "--key",
+        default="host_ops_per_sec",
+        help="throughput field to compare (default host_ops_per_sec)",
+    )
+    args = ap.parse_args()
+
+    base = load_points(args.baseline)
+    cur = load_points(args.current)
+    shared = sorted(set(base) & set(cur))
+    if not shared:
+        raise SystemExit("no common vthread points between baseline and current")
+
+    failed = []
+    print(f"{'vthreads':>8} {'baseline':>14} {'current':>14} {'ratio':>7} {'floor':>7}")
+    for vt in shared:
+        b = float(base[vt][args.key])
+        c = float(cur[vt][args.key])
+        if b <= 0:
+            raise SystemExit(f"baseline {args.key} at vthreads={vt} is not positive")
+        ratio = c / b
+        floor = 1.0 - args.tolerance
+        mark = "" if ratio >= floor else "  << FAIL"
+        print(f"{vt:>8} {b:>14.3e} {c:>14.3e} {ratio:>7.2f} {floor:>7.2f}{mark}")
+        if ratio < floor:
+            failed.append((vt, ratio))
+
+    if failed:
+        worst = min(failed, key=lambda x: x[1])
+        print(
+            f"\nFAIL: {len(failed)} point(s) below {1.0 - args.tolerance:.2f}x "
+            f"baseline (worst: vthreads={worst[0]} at {worst[1]:.2f}x). "
+            "The simulator hot path regressed; see bench/abl_sim_speed.cpp.",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nOK: all {len(shared)} points within {args.tolerance:.0%} of baseline.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
