@@ -20,9 +20,11 @@ inline constexpr unsigned kMaxThreads = 64;
 #if defined(__GNUC__) || defined(__clang__)
 #define PTO_LIKELY(x) __builtin_expect(!!(x), 1)
 #define PTO_UNLIKELY(x) __builtin_expect(!!(x), 0)
+#define PTO_NOINLINE __attribute__((noinline))
 #else
 #define PTO_LIKELY(x) (x)
 #define PTO_UNLIKELY(x) (x)
+#define PTO_NOINLINE
 #endif
 
 /// Alignment wrapper that gives a value its own cache line, preventing false

@@ -114,6 +114,7 @@ class EllenBST {
         pto1_policy_,
         [&]() -> bool {
           Node* l = root_;
+          // pto-lint: bounded(tree height; leaf reached in <= depth steps)
           while (!l->leaf) {
             l = (key < l->key ? l->left : l->right)
                     .load(std::memory_order_relaxed);
@@ -328,6 +329,12 @@ class EllenBST {
     std::uintptr_t expect = op->pupdate;
     bool marked =
         op->p->update.compare_exchange_strong(expect, pack(op, kMark));
+    // The winning mark displaced p's old Clean Info, which nothing
+    // references afterwards (p itself is about to be unlinked and its final
+    // update word keeps `op`, not the old record) — retire it here, the one
+    // place that knows the CAS won. The transactional remove path retires
+    // its `displaced_p` the same way.
+    if (marked) retire_displaced(ctx, op->pupdate);
     if (marked || expect == pack(op, kMark)) {
       help_marked(ctx, op);
       return true;
@@ -460,6 +467,7 @@ class EllenBST {
         [&]() -> int {
           Node* p = nullptr;
           Node* l = root_;
+          // pto-lint: bounded(tree height; leaf reached in <= depth steps)
           while (!l->leaf) {
             p = l;
             l = (key < p->key ? p->left : p->right)
@@ -513,6 +521,7 @@ class EllenBST {
           Node* gp = nullptr;
           Node* p = nullptr;
           Node* l = root_;
+          // pto-lint: bounded(tree height; leaf reached in <= depth steps)
           while (!l->leaf) {
             gp = p;
             p = l;

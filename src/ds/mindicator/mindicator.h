@@ -105,6 +105,7 @@ class Mindicator {
           unsigned i = leaf_index(leaf);
           std::uint64_t w = node(i).load(std::memory_order_relaxed);
           node(i).store(pack(ctr(w) + 2, v), std::memory_order_relaxed);
+          // pto-lint: bounded(log2 leaves; i halves every iteration)
           while (i > 1) {
             i >>= 1;
             w = node(i).load(std::memory_order_relaxed);
@@ -125,6 +126,7 @@ class Mindicator {
           std::uint64_t w = node(i).load(std::memory_order_relaxed);
           node(i).store(pack(ctr(w) + 2, kEmpty),
                           std::memory_order_relaxed);
+          // pto-lint: bounded(log2 leaves; i halves every iteration)
           while (i > 1) {
             i >>= 1;
             // Children read once each: the transaction makes the pair

@@ -23,14 +23,15 @@ struct SimPlatform {
     atomic(const atomic&) = delete;
     atomic& operator=(const atomic&) = delete;
 
-    T load(std::memory_order = std::memory_order_seq_cst) const {
-      return narrow<T>(sim::mem_load(&v_, sizeof(T)));
+    T load(std::memory_order mo = std::memory_order_seq_cst) const {
+      return narrow<T>(
+          sim::mem_load(&v_, sizeof(T), static_cast<unsigned>(mo)));
     }
 
     /// seq_cst stores pay the fence cost (x86 XCHG); weaker orders do not.
     /// Inside a transaction the fence is elided automatically.
     void store(T v, std::memory_order mo = std::memory_order_seq_cst) {
-      sim::mem_store(&v_, sizeof(T), widen(v));
+      sim::mem_store(&v_, sizeof(T), widen(v), static_cast<unsigned>(mo));
       if (mo == std::memory_order_seq_cst) sim::fence();
     }
 

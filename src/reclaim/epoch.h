@@ -141,8 +141,11 @@ class EpochDomain {
       if (limbo_.size() >= kReclaimBatch) reclaim_some();
     }
 
-    /// Best-effort: advance the epoch and free what is safe.
-    void reclaim_some() {
+    /// Best-effort: advance the epoch and free what is safe. noinline so the
+    /// frame is present in sanitizer free-stacks: the TSan suppression for
+    /// guard-less optimistic prefix reads (tools/tsan.supp) anchors on this
+    /// symbol, and inlining it into retire() would make the match flaky.
+    PTO_NOINLINE void reclaim_some() {
       EpochDomain& d = *domain_;
       std::uint64_t g = d.global_epoch_.load(std::memory_order_acquire);
       if (d.all_reservations_at(g)) {

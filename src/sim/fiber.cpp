@@ -57,7 +57,8 @@ void Fiber::entry(void* self) {
 }
 
 Fiber::Fiber(std::size_t stack_bytes, std::function<void()> fn)
-    : stack_(new char[stack_bytes]), fn_(std::move(fn)) {
+    : stack_(new char[stack_bytes]), stack_bytes_(stack_bytes),
+      fn_(std::move(fn)) {
   // Fabricate the frame pto_ctx_switch restores from. Memory layout, from
   // sp upward: [mxcsr:4][fcw:2][pad:2] r15 r14 r13 r12 rbx rbp [ret addr].
   // The restore sequence pops six registers and `ret`s into pto_ctx_entry
@@ -94,7 +95,8 @@ void Fiber::trampoline(unsigned hi, unsigned lo) {
 }
 
 Fiber::Fiber(std::size_t stack_bytes, std::function<void()> fn)
-    : stack_(new char[stack_bytes]), fn_(std::move(fn)) {
+    : stack_(new char[stack_bytes]), stack_bytes_(stack_bytes),
+      fn_(std::move(fn)) {
   if (getcontext(&ctx_.uc) != 0) std::abort();
   ctx_.uc.uc_stack.ss_sp = stack_.get();
   ctx_.uc.uc_stack.ss_size = stack_bytes;

@@ -24,6 +24,17 @@
 #include <ucontext.h>
 #endif
 
+#if defined(__SANITIZE_ADDRESS__)
+#define PTO_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define PTO_ASAN_FIBERS 1
+#endif
+#endif
+#if PTO_ASAN_FIBERS
+#include <sanitizer/asan_interface.h>
+#endif
+
 namespace pto::sim {
 
 #if PTO_FAST_FIBER
@@ -64,6 +75,19 @@ class Fiber {
 
   ExecContext& context() { return ctx_; }
 
+  /// Erase ASan shadow poison over the whole fiber stack. Call before a
+  /// longjmp taken while running on this fiber: ASan's no-return handler
+  /// unpoisons the *host* thread stack (it cannot know execution is on a
+  /// heap-allocated stack), so the redzones of the frames the jump abandons
+  /// would otherwise linger here as stale poison and fault later, unrelated
+  /// frames — including the sanitizer runtime's own uninstrumented ones.
+  /// No-op outside ASan builds.
+  void unpoison_stack() {
+#if PTO_ASAN_FIBERS
+    __asan_unpoison_memory_region(stack_.get(), stack_bytes_);
+#endif
+  }
+
  private:
 #if PTO_FAST_FIBER
   static void entry(void* self);
@@ -73,6 +97,7 @@ class Fiber {
 
   ExecContext ctx_{};
   std::unique_ptr<char[]> stack_;
+  std::size_t stack_bytes_ = 0;
   std::function<void()> fn_;
 };
 

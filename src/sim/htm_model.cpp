@@ -2,12 +2,14 @@
 // requester-wins conflict resolution, capacity/duration/spurious aborts.
 #include "sim/runtime_internal.h"
 
+#include "check/check.h"
 #include "telemetry/prof.h"
 #include "telemetry/trace.h"
 
 namespace pto::sim::internal {
 
 namespace prof = ::pto::telemetry::prof;
+namespace check = ::pto::check;
 
 void Runtime::release_tx_footprint(TxDesc& tx, unsigned tid) {
   // Tracked lines are held as direct LineState pointers (regions never move
@@ -31,6 +33,11 @@ void Runtime::doom(unsigned victim, unsigned cause, std::uintptr_t line) {
     raw_write(it->addr, it->size, it->old_val);
   }
   release_tx_footprint(tx, victim);
+  if (PTO_UNLIKELY(check::on())) {
+    // After the rollback, before the aggressor's own write lands: the
+    // checker compares the victim's logged reads against restored memory.
+    check::on_tx_doomed(victim, line);
+  }
   tx.doomed = true;
   tx.doom_cause = cause;
   vt.clock += cfg.cost.tx_abort_penalty;
@@ -59,6 +66,10 @@ void Runtime::check_doom() {
   tx.active = false;
   tx.depth = 0;
   if (PTO_UNLIKELY(prof::on())) prof::on_abort_unwind();
+  // This longjmp runs on a fiber stack; ASan's no-return handler only knows
+  // how to unpoison the host thread stack, so clear the abandoned frames'
+  // redzones ourselves (no-op outside ASan builds).
+  t.fiber->unpoison_stack();
   std::longjmp(tx.env, static_cast<int>(cause));
 }
 
@@ -68,6 +79,9 @@ void Runtime::self_abort(unsigned cause, unsigned char user_code) {
   assert(tx.active && !tx.doomed);
   for (auto it = tx.undo.rbegin(); it != tx.undo.rend(); ++it) {
     raw_write(it->addr, it->size, it->old_val);
+  }
+  if (PTO_UNLIKELY(check::on())) {
+    check::on_tx_self_abort(cur, cause, tx.rlines.size(), tx.wlines.size());
   }
   release_tx_footprint(tx, cur);
   t.last_user_code = user_code;
@@ -80,6 +94,8 @@ void Runtime::self_abort(unsigned cause, unsigned char user_code) {
   tx.active = false;
   tx.depth = 0;
   if (PTO_UNLIKELY(prof::on())) prof::on_abort_unwind();
+  // See check_doom(): unpoison the fiber stack before longjmp under ASan.
+  t.fiber->unpoison_stack();
   std::longjmp(tx.env, static_cast<int>(cause));
 }
 
@@ -124,6 +140,7 @@ unsigned tx_begin() {
   tx.start = t.clock;
   tx.user_code = TX_CODE_NONE;
   t.stats.tx_started++;
+  if (PTO_UNLIKELY(check::on())) check::on_tx_begin(rt.cur);
   if (PTO_UNLIKELY(prof::on())) prof::on_tx_begin();
   return TX_STARTED;
 }
@@ -142,6 +159,7 @@ void tx_end() {
   assert(!tx.doomed);
   rt.release_tx_footprint(tx, rt.cur);
   tx.active = false;
+  if (PTO_UNLIKELY(check::on())) check::on_tx_commit(rt.cur);
   t.stats.tx_commits++;
   t.stats.tx_cycles += t.clock - tx.start;
   if (PTO_UNLIKELY(telemetry::trace_on())) {

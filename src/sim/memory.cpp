@@ -4,12 +4,14 @@
 
 #include <cstring>
 
+#include "check/check.h"
 #include "telemetry/prof.h"
 #include "telemetry/trace.h"
 
 namespace pto::sim::internal {
 
 namespace prof = ::pto::telemetry::prof;
+namespace check = ::pto::check;
 
 // ---------------------------------------------------------------------------
 // LineTable cold paths. The hot lookup (runtime_internal.h) is a single
@@ -114,7 +116,8 @@ void tx_track_write(Runtime& rt, LineState& L) {
 
 }  // namespace
 
-std::uint64_t Runtime::do_load(const void* addr, unsigned size) {
+std::uint64_t Runtime::do_load(const void* addr, unsigned size,
+                               unsigned order) {
   check_doom();
   VThread& t = me();
   LineState& L = line_of(addr);
@@ -139,13 +142,17 @@ std::uint64_t Runtime::do_load(const void* addr, unsigned size) {
   }
   ++t.stats.loads;
   std::uint64_t v = raw_read(addr, size);
+  if (PTO_UNLIKELY(check::on())) {
+    check::on_load(cur, addr, size, v, order, t.tx.active);
+  }
   if (PTO_UNLIKELY(prof::on())) prof::on_charge(prof::kClassLoad, cost);
   charge(cost);
   check_doom();  // doomed while yielded => value invalid; longjmps
   return v;
 }
 
-void Runtime::do_store(void* addr, unsigned size, std::uint64_t val) {
+void Runtime::do_store(void* addr, unsigned size, std::uint64_t val,
+                       unsigned order) {
   check_doom();
   VThread& t = me();
   LineState& L = line_of(addr);
@@ -171,6 +178,9 @@ void Runtime::do_store(void* addr, unsigned size, std::uint64_t val) {
   }
   ++t.stats.stores;
   raw_write(addr, size, val);
+  if (PTO_UNLIKELY(check::on())) {
+    check::on_store(cur, addr, size, val, order, t.tx.active);
+  }
   if (PTO_UNLIKELY(prof::on())) prof::on_charge(prof::kClassStore, cost);
   charge(cost);
   check_doom();
@@ -234,6 +244,11 @@ bool Runtime::do_cas(void* addr, unsigned size, std::uint64_t& expected,
     }
   }
   ++t.stats.cas_ops;
+  if (PTO_UNLIKELY(check::on())) {
+    // `expected` holds the observed value either way: unchanged on success,
+    // updated to the current value on failure.
+    check::on_rmw(cur, addr, size, expected, ok, t.tx.active);
+  }
   if (PTO_UNLIKELY(prof::on())) prof::on_charge(prof::kClassSync, cost);
   charge(cost);
   check_doom();
@@ -274,6 +289,9 @@ std::uint64_t Runtime::do_fetch_add(void* addr, unsigned size,
   std::uint64_t old = raw_read(addr, size);
   raw_write(addr, size, old + delta);
   ++t.stats.rmws;
+  if (PTO_UNLIKELY(check::on())) {
+    check::on_rmw(cur, addr, size, old, true, t.tx.active);
+  }
   // Classed kClassSync unless we are inside the allocator bracket, where
   // prof::on_charge reclasses it as allocation traffic.
   if (PTO_UNLIKELY(prof::on())) prof::on_charge(prof::kClassSync, cost);
@@ -291,6 +309,7 @@ void Runtime::do_fence() {
     return;
   }
   ++t.stats.fences;
+  if (PTO_UNLIKELY(check::on())) check::on_fence(cur);
   if (PTO_UNLIKELY(prof::on())) {
     prof::on_charge(prof::kClassFence, cfg.cost.fence);
   }

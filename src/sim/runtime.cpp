@@ -4,12 +4,14 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "check/check.h"
 #include "telemetry/prof.h"
 #include "telemetry/trace.h"
 
 namespace pto::sim {
 
 namespace prof = ::pto::telemetry::prof;
+namespace check = ::pto::check;
 
 namespace internal {
 
@@ -94,6 +96,7 @@ RunResult run(unsigned nthreads, const Config& cfg,
     telemetry::trace_run_begin(nthreads, cfg.seed);
   }
   g_rt = &rt;
+  if (PTO_UNLIKELY(check::on())) check::on_run_begin(nthreads);
   for (unsigned i = 0; i < nthreads; ++i) {
     rt.threads[i].fiber = std::make_unique<Fiber>(kFiberStack, [i, &body, &rt] {
       body(i);
@@ -101,6 +104,7 @@ RunResult run(unsigned nthreads, const Config& cfg,
     });
   }
   rt.run_all();
+  if (PTO_UNLIKELY(check::on())) check::on_run_end();
   g_rt = nullptr;
   // Rewrite the trace file at every run boundary so a partially-finished
   // bench still leaves a loadable trace behind.
@@ -131,6 +135,7 @@ std::uint64_t rnd() {
 void op_done(std::uint64_t n) {
   if (g_rt == nullptr) return;
   g_rt->me().stats.ops_completed += n;
+  if (PTO_UNLIKELY(check::on())) check::on_op_done(g_rt->cur);
   if (PTO_UNLIKELY(prof::on())) {
     prof::on_charge(prof::kClassBench, n * g_rt->cfg.cost.bench_op_overhead);
   }
@@ -151,13 +156,13 @@ void cpu_pause() {
 // degrade to raw accesses: no costs, no conflicts, no stats — but frees still
 // poison lines so a later in-simulation use-after-free is caught.
 
-std::uint64_t mem_load(const void* addr, unsigned size) {
-  if (g_rt) return g_rt->do_load(addr, size);
+std::uint64_t mem_load(const void* addr, unsigned size, unsigned order) {
+  if (g_rt) return g_rt->do_load(addr, size, order);
   return raw_read(addr, size);
 }
-void mem_store(void* addr, unsigned size, std::uint64_t val) {
+void mem_store(void* addr, unsigned size, std::uint64_t val, unsigned order) {
   if (g_rt) {
-    g_rt->do_store(addr, size, val);
+    g_rt->do_store(addr, size, val, order);
     return;
   }
   raw_write(addr, size, val);

@@ -228,8 +228,8 @@ class Runtime {
   void tx_access_checks();  ///< duration + spurious aborts for current tx
 
   // memory.cpp — hook bodies (public wrappers in sim.h forward here)
-  std::uint64_t do_load(const void* addr, unsigned size);
-  void do_store(void* addr, unsigned size, std::uint64_t val);
+  std::uint64_t do_load(const void* addr, unsigned size, unsigned order);
+  void do_store(void* addr, unsigned size, std::uint64_t val, unsigned order);
   bool do_cas(void* addr, unsigned size, std::uint64_t& expected,
               std::uint64_t desired);
   std::uint64_t do_fetch_add(void* addr, unsigned size, std::uint64_t delta);

@@ -131,8 +131,14 @@ std::uint64_t rnd();    ///< deterministic per-thread random value
 void op_done(std::uint64_t n = 1);
 void cpu_pause();       ///< backoff hint; charges CostModel::pause
 
-std::uint64_t mem_load(const void* addr, unsigned size);
-void mem_store(void* addr, unsigned size, std::uint64_t val);
+/// `order` is the C++ memory order of the access as a plain unsigned
+/// (std::memory_order_relaxed == 0 ... seq_cst == 5). It never affects
+/// costs or scheduling — the simulated machine is TSO and SimPlatform
+/// charges fences separately — but pto::check uses it to distinguish
+/// plain (relaxed) accesses from synchronizing ones.
+std::uint64_t mem_load(const void* addr, unsigned size, unsigned order = 5);
+void mem_store(void* addr, unsigned size, std::uint64_t val,
+               unsigned order = 5);
 /// On failure, `expected` is updated with the observed value.
 bool mem_cas(void* addr, unsigned size, std::uint64_t& expected,
              std::uint64_t desired);

@@ -5,6 +5,7 @@
 #include <iostream>
 #include <ostream>
 
+#include "check/check.h"
 #include "sim/sim.h"
 #include "telemetry/prof.h"
 
@@ -158,21 +159,26 @@ PrefixStats registry_delta(const PrefixStats& before) {
 void site_attempt(Site* site) {
   if (enabled()) site->record_attempt();
   if (PTO_UNLIKELY(prof::on())) prof::on_site_attempt(site);
+  if (PTO_UNLIKELY(check::on())) check::on_site_attempt(site);
 }
 void site_commit(Site* site) {
   if (enabled()) site->record_commit();
   if (PTO_UNLIKELY(prof::on())) prof::on_site_commit(site);
+  if (PTO_UNLIKELY(check::on())) check::on_site_commit(site);
 }
 void site_abort(Site* site, unsigned cause) {
   if (enabled()) site->record_abort(cause);
   if (PTO_UNLIKELY(prof::on())) prof::on_site_abort(site, cause);
+  if (PTO_UNLIKELY(check::on())) check::on_site_abort(site, cause);
 }
 void site_fallback(Site* site) {
   if (enabled()) site->record_fallback();
   if (PTO_UNLIKELY(prof::on())) prof::on_site_fallback(site);
+  if (PTO_UNLIKELY(check::on())) check::on_site_fallback(site);
 }
 void site_fallback_end(Site* site) {
   if (PTO_UNLIKELY(prof::on())) prof::on_site_fallback_end(site);
+  if (PTO_UNLIKELY(check::on())) check::on_site_fallback_end(site);
 }
 
 }  // namespace pto::telemetry
