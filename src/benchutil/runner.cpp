@@ -5,6 +5,7 @@
 #include <set>
 #include <string>
 
+#include "explore/explore.h"
 #include "telemetry/emit.h"
 #include "telemetry/prof.h"
 #include "telemetry/registry.h"
@@ -66,9 +67,21 @@ double measure_point(
   PrefixStats reg_before;
   if (emit) reg_before = telemetry::registry_totals();
   double sum = 0.0;
+  // Resolve the exploration policy once per point: each trial then derives
+  // its own schedule seed from the resolved base, the same way workload
+  // seeds are derived — multi-trial sweeps under PTO_SCHED=pct/rand stay a
+  // pure function of (options, env) while every trial explores a distinct
+  // interleaving.
+  const explore::Options xbase = explore::resolved(base_cfg.explore);
   for (unsigned trial = 0; trial < opts.trials; ++trial) {
     sim::Config cfg = base_cfg;
     cfg.seed = opts.base_seed + 1000003ull * trial + threads;
+    cfg.explore = xbase;
+    if (xbase.policy == explore::Policy::kPCT ||
+        xbase.policy == explore::Policy::kRandom) {
+      cfg.explore.seed =
+          explore::derive_seed(xbase.seed, 1000003ull * trial + threads);
+    }
     auto body = make_fixture();
     auto res = sim::run(threads, cfg, [&](unsigned tid) {
       body(tid, opts.ops_per_thread);

@@ -265,10 +265,12 @@ void record_read(VarState& vs, unsigned tid, std::uint64_t clk, SpanRef span) {
 /// re-validates it (the code re-read the pointer from the structure).
 void check_poison(CheckState& S, ThreadState& t, unsigned tid,
                   std::uintptr_t addr, std::uint64_t value, bool is_store) {
-  // Lock-free structures tag pointers in their low bits (marks, flags), so
-  // values compare modulo the low 3 bits: a load returning B|1 re-validates
-  // poisoned B, and a store of B|1 publishes poisoned B.
-  constexpr std::uint64_t kTagMask = 7;
+  // Lock-free structures tag pointers in their low bits (marks, flags) and
+  // pack counters/versions into bits 48..63 (canonical user pointers fit in
+  // 48 bits), so values compare modulo both: a load returning B|1 — or B
+  // with a bumped packed counter, as in FSetHash's bucket words —
+  // re-validates poisoned B, and a store of either publishes poisoned B.
+  constexpr std::uint64_t kTagMask = 7 | 0xFFFF000000000000ull;
   for (std::size_t i = 0; i < t.poison.size();) {
     PoisonEntry& p = t.poison[i];
     if (addr / kCacheLine == p.value / kCacheLine) {

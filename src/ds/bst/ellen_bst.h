@@ -334,7 +334,12 @@ class EllenBST {
     // update word keeps `op`, not the old record) — retire it here, the one
     // place that knows the CAS won. The transactional remove path retires
     // its `displaced_p` the same way.
+    // PTO_SEEDED_BUGS reintroduces a historical defect (the Clean-Info
+    // leak: the displaced record is never retired) so the exploration test
+    // suite can prove it finds real bugs. Never define it in normal builds.
+#ifndef PTO_SEEDED_BUGS
     if (marked) retire_displaced(ctx, op->pupdate);
+#endif
     if (marked || expect == pack(op, kMark)) {
       help_marked(ctx, op);
       return true;

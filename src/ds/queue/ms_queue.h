@@ -200,12 +200,27 @@ class MSQueue {
         tail_.compare_exchange_strong(expect, next);
         continue;
       }
+#ifdef PTO_SEEDED_BUGS
+      // Deliberate defect (PTO_SEEDED_BUGS): publish the link with a blind
+      // store instead of the CAS. Two fallback enqueues racing in the
+      // load-next/store window both see next == nullptr; the second store
+      // overwrites the first thread's already-linked node, silently dropping
+      // it (and stranding tail_ on the lost branch, which swallows every
+      // later enqueue that lands there). Only surfaces when an explored
+      // schedule puts two threads in the fallback window together — the
+      // exploration suite must find it as a conservation violation.
+      tail->next.store(n);
+      Node* expect = tail;
+      tail_.compare_exchange_strong(expect, n);
+      return;
+#else
       Node* expect_null = nullptr;
       if (tail->next.compare_exchange_strong(expect_null, n)) {
         Node* expect = tail;
         tail_.compare_exchange_strong(expect, n);
         return;
       }
+#endif
     }
   }
 

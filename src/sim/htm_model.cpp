@@ -42,8 +42,9 @@ void Runtime::doom(unsigned victim, unsigned cause, std::uintptr_t line) {
   tx.doom_cause = cause;
   vt.clock += cfg.cost.tx_abort_penalty;
   // The victim sits in the ready heap (it is suspended); its key and the
-  // cached yield threshold must track the penalty.
-  on_clock_raised(victim);
+  // cached yield threshold must track the penalty. Under an adversarial
+  // policy there is no heap to fix — the Explorer ignores clocks.
+  if (PTO_LIKELY(explorer == nullptr)) on_clock_raised(victim);
   vt.stats.tx_aborts[cause]++;
   vt.stats.tx_cycles += vt.clock - tx.start;
   if (PTO_UNLIKELY(telemetry::trace_on())) {
@@ -111,6 +112,14 @@ void Runtime::tx_access_checks() {
       self_abort(TX_ABORT_SPURIOUS, TX_CODE_NONE);
     }
   }
+  if (PTO_UNLIKELY(xopts.fault_rate > 0.0)) {
+    // Injected spurious/interrupt abort (explore fault model). Drawn from
+    // the dedicated fault stream so the workload RNG is untouched.
+    double u = static_cast<double>(t.fault_rng.next() >> 11) * 0x1.0p-53;
+    if (u < xopts.fault_rate) {
+      self_abort(TX_ABORT_SPURIOUS, TX_CODE_NONE);
+    }
+  }
 }
 
 }  // namespace pto::sim::internal
@@ -139,6 +148,19 @@ unsigned tx_begin() {
   tx.doomed = false;
   tx.start = t.clock;
   tx.user_code = TX_CODE_NONE;
+  tx.rcap = rt.cfg.htm.max_read_lines;
+  tx.wcap = rt.cfg.htm.max_write_lines;
+  if (PTO_UNLIKELY(rt.xopts.fault_rate > 0.0)) {
+    // Capacity jitter: with the fault probability, this transaction runs
+    // with a uniformly reduced footprint budget — the best-effort "your
+    // capacity varies with cache pressure" failure mode, driving workloads
+    // through their capacity-abort fallback paths.
+    double u = static_cast<double>(t.fault_rng.next() >> 11) * 0x1.0p-53;
+    if (u < rt.xopts.fault_rate) {
+      tx.rcap = 1 + static_cast<unsigned>(t.fault_rng.next_below(tx.rcap));
+      tx.wcap = 1 + static_cast<unsigned>(t.fault_rng.next_below(tx.wcap));
+    }
+  }
   t.stats.tx_started++;
   if (PTO_UNLIKELY(check::on())) check::on_tx_begin(rt.cur);
   if (PTO_UNLIKELY(prof::on())) prof::on_tx_begin();

@@ -93,11 +93,12 @@ void doom_other_writer(Runtime& rt, LineState& L, unsigned self,
 }
 
 /// Register a transactional read of the line; capacity-aborts if the read
-/// set is full.
+/// set is full. The limit is the per-transaction budget set at tx_begin
+/// (the HtmConfig limit, jittered down under HTM fault injection).
 void tx_track_read(Runtime& rt, LineState& L) {
   VThread& t = rt.me();
   if (L.tx_readers & bit(rt.cur)) return;
-  if (t.tx.rlines.size() >= rt.cfg.htm.max_read_lines) {
+  if (t.tx.rlines.size() >= t.tx.rcap) {
     rt.self_abort(TX_ABORT_CAPACITY, TX_CODE_NONE);
   }
   L.tx_readers |= bit(rt.cur);
@@ -107,7 +108,7 @@ void tx_track_read(Runtime& rt, LineState& L) {
 void tx_track_write(Runtime& rt, LineState& L) {
   VThread& t = rt.me();
   if (L.tx_writer == rt.cur) return;
-  if (t.tx.wlines.size() >= rt.cfg.htm.max_write_lines) {
+  if (t.tx.wlines.size() >= t.tx.wcap) {
     rt.self_abort(TX_ABORT_CAPACITY, TX_CODE_NONE);
   }
   L.tx_writer = rt.cur;

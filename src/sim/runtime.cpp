@@ -19,7 +19,7 @@ Runtime* g_rt = nullptr;
 GlobalMemory g_mem;
 
 Runtime::Runtime(unsigned nthreads, const Config& c)
-    : cfg(c), threads([&] {
+    : cfg(c), xopts(explore::resolved(c.explore)), threads([&] {
         // Per-line conflict tracking is a 64-bit mask of thread ids;
         // bit(tid) silently shifts out of range past 64, so reject early
         // with a clear message rather than corrupting line state.
@@ -30,8 +30,16 @@ Runtime::Runtime(unsigned nthreads, const Config& c)
         }
         return nthreads;
       }()) {
+  if (xopts.adversarial()) {
+    explorer =
+        std::make_unique<explore::internal::Explorer>(xopts, nthreads);
+  }
   for (unsigned i = 0; i < nthreads; ++i) {
     threads[i].rng.reseed(c.seed * 0x9E3779B97F4A7C15ull + i + 1);
+    if (xopts.fault_rate > 0.0) {
+      threads[i].fault_rng.reseed(xopts.fault_seed * 0x9E3779B97F4A7C15ull +
+                                  i + 0xFA17ull);
+    }
     // Pre-reserve transaction footprints to the configured HTM limits so
     // the first transactions never reallocate mid-speculation.
     TxDesc& tx = threads[i].tx;
@@ -132,6 +140,12 @@ std::uint64_t rnd() {
   return host_rng.next();
 }
 
+namespace {
+std::uint64_t g_seq = 0;
+}  // namespace
+
+std::uint64_t global_seq() { return ++g_seq; }
+
 void op_done(std::uint64_t n) {
   if (g_rt == nullptr) return;
   g_rt->me().stats.ops_completed += n;
@@ -147,6 +161,11 @@ void cpu_pause() {
   if (!g_rt) return;
   if (PTO_UNLIKELY(prof::on())) {
     prof::on_charge(prof::kClassPause, g_rt->cfg.cost.pause);
+  }
+  if (PTO_UNLIKELY(g_rt->explorer != nullptr)) {
+    // Under strict-priority PCT a spinning thread would monopolize the
+    // schedule; a pause deprioritizes it so the threads it waits on can run.
+    g_rt->explorer->on_pause(g_rt->cur);
   }
   g_rt->charge(g_rt->cfg.cost.pause);
   g_rt->check_doom();

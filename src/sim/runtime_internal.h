@@ -10,6 +10,7 @@
 
 #include "common/defs.h"
 #include "common/rng.h"
+#include "explore/explorer.h"
 #include "sim/fiber.h"
 #include "sim/sim.h"
 
@@ -39,6 +40,11 @@ struct TxDesc {
   int depth = 0;  ///< flat-nesting depth beyond outermost begin
   unsigned doom_cause = 0;
   unsigned char user_code = TX_CODE_NONE;
+  /// Effective read/write capacities for this transaction, set at the
+  /// outermost tx_begin: the HtmConfig limits, jittered downward when HTM
+  /// fault injection is active (explore::Options::fault_rate).
+  unsigned rcap = 0;
+  unsigned wcap = 0;
   std::uint64_t start = 0;
   std::jmp_buf env;
   std::vector<UndoEntry> undo;
@@ -54,6 +60,9 @@ struct VThread {
   bool done = false;
   TxDesc tx;
   SplitMix64 rng;
+  /// Fault-injection stream (explore), separate from the workload RNG so
+  /// enabling PTO_HTM_FAULTS never perturbs workload key sequences.
+  SplitMix64 fault_rng;
   ThreadStats stats;
   unsigned char last_user_code = TX_CODE_NONE;
   /// Thread-cache model (glibc tcache / tcmalloc): only every
@@ -178,6 +187,11 @@ class Runtime {
   Runtime(unsigned nthreads, const Config& cfg);
 
   Config cfg;
+  /// cfg.explore resolved against the environment (explore::resolved).
+  explore::Options xopts;
+  /// Non-null iff xopts is an adversarial policy (pct/rand/replay); with rr
+  /// the dispatcher below runs exactly the classic min-clock schedule.
+  std::unique_ptr<explore::internal::Explorer> explorer;
   std::vector<VThread> threads;
   unsigned cur = 0;
   ExecContext main_ctx{};
@@ -200,6 +214,10 @@ class Runtime {
   void charge(std::uint64_t cost) {
     VThread& t = me();
     t.clock += cost;
+    if (PTO_UNLIKELY(explorer != nullptr)) {
+      explore_step();
+      return;
+    }
     if (PTO_LIKELY(t.clock <= next_min_clock_)) return;
     yield_to_next();
   }
@@ -212,6 +230,9 @@ class Runtime {
   /// Re-sift `tid` after its clock increased while suspended (doom penalty)
   /// and refresh the cached yield threshold.
   void on_clock_raised(unsigned tid);
+  /// Preemption point under an adversarial policy: consult the Explorer and
+  /// switch fibers when it picks a different thread (callee of charge()).
+  void explore_step();
 
   // htm_model.cpp
   /// Roll back and doom the transaction of `victim` (requester wins).
@@ -266,6 +287,9 @@ class Runtime {
   unsigned char heap_pos_[kMaxThreads];
   /// Clock of the heap root: the single threshold charge() compares against.
   std::uint64_t next_min_clock_ = ~std::uint64_t{0};
+  /// Runnable-thread bitmask, maintained only under an adversarial policy
+  /// (the Explorer picks among these; the heap above is untouched).
+  std::uint64_t runnable_mask_ = 0;
 };
 
 extern Runtime* g_rt;

@@ -70,6 +70,21 @@ unsigned Runtime::heap_replace_min(std::uint64_t key) {
 }
 
 void Runtime::run_all() {
+  if (PTO_UNLIKELY(explorer != nullptr)) {
+    // Adversarial dispatch: the Explorer owns every scheduling decision and
+    // the min-clock heap stays unused.
+    runnable_mask_ = threads.size() == 64
+                         ? ~std::uint64_t{0}
+                         : (std::uint64_t{1} << threads.size()) - 1;
+    unsigned first = explorer->pick_first(runnable_mask_);
+    cur = first;
+    ++threads[first].stats.dispatches;
+    if (PTO_UNLIKELY(telemetry::trace_sched_on())) {
+      telemetry::trace_sched(first, threads[first].clock);
+    }
+    ctx_switch(main_ctx, threads[first].fiber->context());
+    return;  // resumed by on_fiber_done() of the last finishing fiber
+  }
   ready_size_ = 0;
   for (unsigned i = 0; i < threads.size(); ++i) heap_pos_[i] = kNoPos;
   // Ascending (clock=0, tid) keys already satisfy the heap property.
@@ -86,6 +101,18 @@ void Runtime::run_all() {
   }
   ctx_switch(main_ctx, threads[0].fiber->context());
   // Resumed by on_fiber_done() of the last finishing fiber.
+}
+
+void Runtime::explore_step() {
+  unsigned prev = cur;
+  unsigned next = explorer->pick(prev, runnable_mask_);
+  if (PTO_LIKELY(next == prev)) return;
+  cur = next;
+  ++threads[next].stats.dispatches;
+  if (PTO_UNLIKELY(telemetry::trace_sched_on())) {
+    telemetry::trace_sched(next, threads[next].clock);
+  }
+  ctx_switch(threads[prev].fiber->context(), threads[next].fiber->context());
 }
 
 void Runtime::yield_to_next() {
@@ -106,6 +133,21 @@ void Runtime::yield_to_next() {
 void Runtime::on_fiber_done() {
   VThread& t = threads[cur];
   t.done = true;
+  if (PTO_UNLIKELY(explorer != nullptr)) {
+    runnable_mask_ &= ~bit(cur);
+    if (runnable_mask_ == 0) {
+      ctx_switch(t.fiber->context(), main_ctx);  // back to run() teardown
+    } else {
+      unsigned next = explorer->pick_first(runnable_mask_);
+      cur = next;
+      ++threads[next].stats.dispatches;
+      if (PTO_UNLIKELY(telemetry::trace_sched_on())) {
+        telemetry::trace_sched(next, threads[next].clock);
+      }
+      ctx_switch(t.fiber->context(), threads[next].fiber->context());
+    }
+    std::abort();  // a finished fiber is never rescheduled
+  }
   if (ready_size_ == 0) {
     ctx_switch(t.fiber->context(), main_ctx);  // back to run() teardown
   } else {

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "common/defs.h"
+#include "explore/explore.h"
 #include "htm/txcode.h"
 
 namespace pto::sim {
@@ -77,6 +78,11 @@ struct Config {
   bool fences_in_tx = false;
   /// Detect non-transactional access to freed lines (tests).
   bool trap_use_after_free = true;
+  /// Schedule exploration and HTM fault injection (explore/explore.h). The
+  /// default (Policy::kEnv) resolves PTO_SCHED / PTO_HTM_FAULTS at run
+  /// start; with the resulting rr policy the dispatcher — and so every
+  /// simulated cycle — is bit-for-bit the plain deterministic one.
+  explore::Options explore;
 };
 
 struct ThreadStats {
@@ -128,6 +134,14 @@ unsigned thread_id();
 unsigned num_threads();
 std::uint64_t now();    ///< current virtual thread's clock
 std::uint64_t rnd();    ///< deterministic per-thread random value
+/// Strictly increasing per call, process-global. Under an adversarial
+/// schedule (explore::Policy) per-thread clocks no longer order observable
+/// events — a deprioritized thread's clock lags arbitrarily — so history
+/// recorders (tests/linearizability.h) timestamp invocations and responses
+/// with this counter instead: the simulator serializes every event on one
+/// host thread, making call order exactly the observable real-time order
+/// under every scheduling policy.
+std::uint64_t global_seq();
 void op_done(std::uint64_t n = 1);
 void cpu_pause();       ///< backoff hint; charges CostModel::pause
 

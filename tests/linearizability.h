@@ -1,23 +1,35 @@
-// A linearizability checker for set histories recorded on the simulator.
+// Linearizability checkers for histories recorded on the simulator.
 //
-// The simulator gives every operation real-time bounds on one global virtual
-// clock (invocation and response instants), so a recorded concurrent history
-// is checkable offline: the structure is linearizable on this history iff
-// there exists a total order of the operations that (a) respects real-time
-// precedence (A before B whenever A.ret < B.inv) and (b) is a legal
-// sequential set execution producing exactly the recorded results.
+// The simulator serializes every instrumented event on one host thread, so
+// sim::global_seq() — strictly increasing per call — gives every operation
+// exact real-time bounds (invocation and response instants) under ANY
+// scheduling policy, including the adversarial pct/rand explorers whose
+// per-thread virtual clocks no longer order observable events. A recorded
+// concurrent history is then checkable offline: the structure is
+// linearizable on this history iff there exists a total order of the
+// operations that (a) respects real-time precedence (A before B whenever
+// A.ret < B.inv) and (b) is a legal sequential execution producing exactly
+// the recorded results — the classic Wing & Gong search, with memoization
+// on (completed-mask, sequential state).
 //
-// For sets, operations on distinct keys commute and their results are
-// independent, so the history decomposes per key and each sub-history is
-// checked against a single-bool automaton (present/absent) — the classic
-// Wing & Gong search with memoization on (completed-mask, state), kept
-// tractable by the decomposition (sub-histories of <= 64 operations).
+// Two checkers:
+//  - Sets decompose per key (operations on distinct keys commute), each
+//    sub-history checked against a single-bool automaton — tractable for
+//    sub-histories of <= 64 operations.
+//  - check_history<Spec> runs the same search against an arbitrary
+//    sequential specification (QueueSpec, MinPQSpec below) for structures
+//    whose operations do not commute; callers keep whole histories small
+//    (<= 64 ops) and values distinct.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <algorithm>
+#include <optional>
+#include <set>
+#include <string>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "sim/sim.h"
@@ -146,12 +158,15 @@ class HistoryRecorder {
  public:
   explicit HistoryRecorder(unsigned threads) : per_thread_(threads) {}
 
-  /// Wraps one operation: records inv/ret around fn().
+  /// Wraps one operation: records inv/ret around fn(). Timestamps come from
+  /// sim::global_seq(), not the per-thread virtual clock — under adversarial
+  /// schedules a deprioritized thread's clock lags arbitrarily, which would
+  /// fabricate real-time precedences that never happened.
   template <class Fn>
   bool record(unsigned tid, SetOpKind kind, std::int64_t key, Fn&& fn) {
-    std::uint64_t inv = sim::now();
+    std::uint64_t inv = sim::global_seq();
     bool result = fn();
-    std::uint64_t ret = sim::now();
+    std::uint64_t ret = sim::global_seq();
     per_thread_[tid].push_back({kind, key, result, inv, ret});
     return result;
   }
@@ -166,6 +181,163 @@ class HistoryRecorder {
 
  private:
   std::vector<std::vector<SetOp>> per_thread_;
+};
+
+// ---------------------------------------------------------------------------
+// Generic Wing–Gong checker against a sequential specification.
+//
+// A Spec provides:
+//   struct Op { ... };                       // one invocation + its result
+//   using State = ...;                       // copyable sequential state
+//   static State initial();
+//   static bool apply(State&, const Op&);    // legal here? (mutates on yes)
+//   static std::string key(const State&);    // canonical form for memoization
+//
+// Histories must stay <= 64 operations (mask is one word) and — for the
+// queue/PQ specs below — use pairwise-distinct values, which keeps the
+// reachable state set small enough for the memoized DFS.
+// ---------------------------------------------------------------------------
+
+template <class Spec>
+struct TimedOp {
+  typename Spec::Op op;
+  std::uint64_t inv = 0;  ///< sim::global_seq() at invocation
+  std::uint64_t ret = 0;  ///< sim::global_seq() at response
+};
+
+/// Record one operation into `out`: fn() performs it and returns the
+/// fully-filled Spec::Op (kind, arguments, observed result).
+template <class Spec, class Fn>
+void record_timed(std::vector<TimedOp<Spec>>& out, Fn&& fn) {
+  TimedOp<Spec> t;
+  t.inv = sim::global_seq();
+  t.op = fn();
+  t.ret = sim::global_seq();
+  out.push_back(std::move(t));
+}
+
+template <class Spec>
+class SpecChecker {
+ public:
+  explicit SpecChecker(std::vector<TimedOp<Spec>> ops) : ops_(std::move(ops)) {}
+
+  bool check() {
+    if (ops_.size() > 64) return false;  // caller must keep histories small
+    if (ops_.empty()) return true;
+    typename Spec::State s = Spec::initial();
+    return dfs(0, s);
+  }
+
+  std::size_t states_visited() const { return seen_.size(); }
+
+ private:
+  bool dfs(std::uint64_t done_mask, const typename Spec::State& state) {
+    if (done_mask == (std::uint64_t{1} << ops_.size()) - 1) return true;
+    if (!seen_.insert({done_mask, Spec::key(state)}).second) return false;
+
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+      if (done_mask & (std::uint64_t{1} << i)) continue;
+      // Real-time order: i may linearize next only if no other pending op
+      // completed strictly before i was invoked.
+      bool minimal = true;
+      for (std::size_t j = 0; j < ops_.size(); ++j) {
+        if (j == i || (done_mask & (std::uint64_t{1} << j))) continue;
+        if (ops_[j].ret < ops_[i].inv) {
+          minimal = false;
+          break;
+        }
+      }
+      if (!minimal) continue;
+
+      typename Spec::State next = state;
+      if (!Spec::apply(next, ops_[i].op)) continue;
+      if (dfs(done_mask | (std::uint64_t{1} << i), next)) return true;
+    }
+    return false;
+  }
+
+  std::vector<TimedOp<Spec>> ops_;
+  std::set<std::pair<std::uint64_t, std::string>> seen_;
+};
+
+template <class Spec>
+bool check_history(std::vector<TimedOp<Spec>> ops,
+                   std::size_t* states_visited = nullptr) {
+  SpecChecker<Spec> c(std::move(ops));
+  bool ok = c.check();
+  if (states_visited != nullptr) *states_visited = c.states_visited();
+  return ok;
+}
+
+namespace detail {
+inline std::string i64_vec_key(const std::vector<std::int64_t>& xs) {
+  std::string k;
+  k.reserve(xs.size() * 8);
+  for (std::int64_t x : xs) {
+    k.append(reinterpret_cast<const char*>(&x), sizeof(x));
+  }
+  return k;
+}
+}  // namespace detail
+
+/// FIFO queue: enqueue(v) / dequeue() -> optional value.
+struct QueueSpec {
+  struct Op {
+    bool is_enqueue = false;
+    std::int64_t value = 0;              ///< argument (enq) or result (deq)
+    bool dequeued_empty = false;         ///< deq observed an empty queue
+  };
+  using State = std::vector<std::int64_t>;  ///< front at index 0
+
+  static State initial() { return {}; }
+
+  static bool apply(State& s, const Op& op) {
+    if (op.is_enqueue) {
+      s.push_back(op.value);
+      return true;
+    }
+    if (op.dequeued_empty) return s.empty();
+    if (s.empty() || s.front() != op.value) return false;
+    s.erase(s.begin());
+    return true;
+  }
+
+  static std::string key(const State& s) { return detail::i64_vec_key(s); }
+
+  static Op enq(std::int64_t v) { return {true, v, false}; }
+  static Op deq(std::optional<std::int64_t> v) {
+    return {false, v.value_or(0), !v.has_value()};
+  }
+};
+
+/// Min-priority queue: insert(v) / extract_min() -> optional value.
+struct MinPQSpec {
+  struct Op {
+    bool is_insert = false;
+    std::int64_t value = 0;              ///< argument (insert) or result
+    bool extracted_empty = false;        ///< extract observed an empty PQ
+  };
+  using State = std::vector<std::int64_t>;  ///< kept sorted ascending
+
+  static State initial() { return {}; }
+
+  static bool apply(State& s, const Op& op) {
+    if (op.is_insert) {
+      s.insert(std::upper_bound(s.begin(), s.end(), op.value), op.value);
+      return true;
+    }
+    if (op.extracted_empty) return s.empty();
+    if (s.empty() || s.front() != op.value) return false;
+    s.erase(s.begin());
+    return true;
+  }
+
+  static std::string key(const State& s) { return detail::i64_vec_key(s); }
+
+  static Op insert(std::int64_t v) { return {true, v, false}; }
+  static Op extract(std::optional<std::int64_t> v) {
+    return {false, v.value_or(0), !v.has_value()};
+  }
 };
 
 }  // namespace pto::testutil

@@ -1,14 +1,22 @@
-// Linearizability checking: first the checker itself (accepts/rejects
+// Linearizability checking: first the checkers themselves (accept/reject
 // hand-built histories), then real recorded histories from every set
-// structure under deterministic concurrency, in every PTO mode.
+// structure under deterministic concurrency in every PTO mode, and finally
+// set/queue/mound histories recorded under explored (pct/rand) schedules
+// with HTM fault injection — the Wing–Gong verifiers run on global-seq
+// timestamps, which order observable events under any scheduling policy.
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <tuple>
 
 #include "ds/bst/ellen_bst.h"
 #include "ds/hashtable/fset_hash.h"
 #include "ds/list/harris_list.h"
+#include "ds/mound/mound.h"
+#include "ds/queue/ms_queue.h"
 #include "ds/skiplist/skiplist.h"
+#include "explore/explore.h"
+#include "explore_util.h"
 #include "linearizability.h"
 #include "platform/sim_platform.h"
 #include "sim/sim.h"
@@ -16,6 +24,8 @@
 namespace {
 
 using pto::SimPlatform;
+namespace sim = pto::sim;
+namespace xp = pto::explore;
 namespace tu = pto::testutil;
 using tu::SetOp;
 using tu::SetOpKind;
@@ -95,6 +105,82 @@ TEST(LinChecker, KeysAreIndependent) {
   auto r = tu::check_set_linearizability(h);
   EXPECT_TRUE(r.linearizable);
   EXPECT_EQ(r.keys_checked, 2u);
+}
+
+// Spec-based checker self-tests (queue / min-PQ sequential specifications).
+
+TEST(SpecChecker, QueueAcceptsFifo) {
+  using Q = tu::QueueSpec;
+  std::vector<tu::TimedOp<Q>> h = {
+      {Q::enq(1), 0, 10},
+      {Q::enq(2), 20, 30},
+      {Q::deq(1), 40, 50},
+      {Q::deq(2), 60, 70},
+      {Q::deq(std::nullopt), 80, 90},
+  };
+  EXPECT_TRUE(tu::check_history<Q>(h));
+}
+
+TEST(SpecChecker, QueueRejectsLifo) {
+  using Q = tu::QueueSpec;
+  std::vector<tu::TimedOp<Q>> h = {
+      {Q::enq(1), 0, 10},
+      {Q::enq(2), 20, 30},
+      {Q::deq(2), 40, 50},  // queue must yield 1 first
+  };
+  EXPECT_FALSE(tu::check_history<Q>(h));
+}
+
+TEST(SpecChecker, QueueAcceptsConcurrentEnqueueEitherOrder) {
+  using Q = tu::QueueSpec;
+  std::vector<tu::TimedOp<Q>> h = {
+      {Q::enq(1), 0, 100},
+      {Q::enq(2), 0, 100},  // overlaps: either order linearizes
+      {Q::deq(2), 110, 120},
+      {Q::deq(1), 130, 140},
+  };
+  EXPECT_TRUE(tu::check_history<Q>(h));
+}
+
+TEST(SpecChecker, QueueRejectsLostElement) {
+  using Q = tu::QueueSpec;
+  std::vector<tu::TimedOp<Q>> h = {
+      {Q::enq(1), 0, 10},
+      {Q::deq(std::nullopt), 20, 30},  // the element vanished
+  };
+  EXPECT_FALSE(tu::check_history<Q>(h));
+}
+
+TEST(SpecChecker, PQAcceptsMinOrder) {
+  using P = tu::MinPQSpec;
+  std::vector<tu::TimedOp<P>> h = {
+      {P::insert(5), 0, 10},
+      {P::insert(3), 20, 30},
+      {P::extract(3), 40, 50},
+      {P::extract(5), 60, 70},
+      {P::extract(std::nullopt), 80, 90},
+  };
+  EXPECT_TRUE(tu::check_history<P>(h));
+}
+
+TEST(SpecChecker, PQRejectsNonMinExtract) {
+  using P = tu::MinPQSpec;
+  std::vector<tu::TimedOp<P>> h = {
+      {P::insert(5), 0, 10},
+      {P::insert(3), 20, 30},
+      {P::extract(5), 40, 50},  // 3 is the minimum
+  };
+  EXPECT_FALSE(tu::check_history<P>(h));
+}
+
+TEST(SpecChecker, PQAcceptsExtractOverlappingInsert) {
+  using P = tu::MinPQSpec;
+  std::vector<tu::TimedOp<P>> h = {
+      {P::insert(5), 0, 10},
+      {P::insert(3), 20, 100},   // overlaps the extract
+      {P::extract(5), 30, 40},   // legal: linearize extract before insert(3)
+  };
+  EXPECT_TRUE(tu::check_history<P>(h));
 }
 
 // ---------------------------------------------------------------------------
@@ -256,5 +342,122 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(std::get<1>(info.param)) + "_s" +
              std::to_string(std::get<2>(info.param));
     });
+
+// ---------------------------------------------------------------------------
+// Explored schedules: set / queue / mound histories stay linearizable under
+// adversarial pct+rand interleavings with mild HTM fault injection. Each
+// structure sweeps PTO_EXPLORE_SEEDS seeds (default 32 here, per the
+// nightly/smoke contract) across both adversarial policies.
+// ---------------------------------------------------------------------------
+
+TEST(ExploredLin, SkiplistSet) {
+  const unsigned threads = 3;
+  for (const xp::Options& x :
+       tu::sweep_policies(tu::test_seed(41), tu::explore_seeds(32), 0.02)) {
+    PTO_TRACE_EXPLORE(x);
+    pto::SkipList<SimPlatform> s;
+    std::vector<typename pto::SkipList<SimPlatform>::ThreadCtx> ctxs;
+    for (unsigned t = 0; t < threads; ++t) ctxs.push_back(s.make_ctx());
+    tu::HistoryRecorder rec(threads);
+    sim::Config cfg;
+    cfg.seed = tu::test_seed(41);
+    cfg.explore = x;
+    auto res = sim::run(threads, cfg, [&](unsigned tid) {
+      for (int i = 0; i < 40; ++i) {
+        auto k = static_cast<std::int64_t>(sim::rnd() % 12);
+        auto c = static_cast<unsigned>(sim::rnd() % 100);
+        SetOpKind kind = c < 30   ? SetOpKind::kContains
+                         : c < 65 ? SetOpKind::kInsert
+                                  : SetOpKind::kRemove;
+        rec.record(tid, kind, k, [&] {
+          switch (kind) {
+            case SetOpKind::kContains: return s.contains(ctxs[tid], k);
+            case SetOpKind::kInsert: return s.insert_pto(ctxs[tid], k);
+            default: return s.remove_pto(ctxs[tid], k);
+          }
+        });
+      }
+    });
+    ASSERT_EQ(res.uaf_count, 0u) << tu::note_failure(x, "skiplist uaf");
+    auto r = tu::check_set_linearizability(rec.merged());
+    ASSERT_TRUE(r.linearizable) << tu::note_failure(
+        x, "skiplist history not linearizable at key " +
+               std::to_string(r.failing_key));
+    ASSERT_LE(r.largest_subhistory, 64u);
+  }
+}
+
+TEST(ExploredLin, MSQueue) {
+  const unsigned threads = 3;
+  for (const xp::Options& x :
+       tu::sweep_policies(tu::test_seed(43), tu::explore_seeds(32), 0.02)) {
+    PTO_TRACE_EXPLORE(x);
+    pto::MSQueue<SimPlatform> q;
+    std::vector<typename pto::MSQueue<SimPlatform>::ThreadCtx> ctxs;
+    for (unsigned t = 0; t < threads; ++t) ctxs.push_back(q.make_ctx());
+    // Host-serialized fibers: one shared history vector is safe.
+    std::vector<tu::TimedOp<tu::QueueSpec>> hist;
+    sim::Config cfg;
+    cfg.seed = tu::test_seed(43);
+    cfg.explore = x;
+    auto res = sim::run(threads, cfg, [&](unsigned tid) {
+      for (int i = 0; i < 7; ++i) {
+        // Enqueue values are pairwise distinct (tid-tagged) so the spec's
+        // state space stays small and FIFO violations are unambiguous.
+        if (sim::rnd() % 2 == 0) {
+          auto v = static_cast<std::int64_t>(tid) * 1000 + i;
+          tu::record_timed<tu::QueueSpec>(hist, [&] {
+            q.enqueue_pto(ctxs[tid], v);
+            return tu::QueueSpec::enq(v);
+          });
+        } else {
+          tu::record_timed<tu::QueueSpec>(hist, [&] {
+            return tu::QueueSpec::deq(q.dequeue_pto(ctxs[tid]));
+          });
+        }
+      }
+    });
+    ASSERT_EQ(res.uaf_count, 0u) << tu::note_failure(x, "ms_queue uaf");
+    ASSERT_LE(hist.size(), 64u);
+    ASSERT_TRUE(tu::check_history<tu::QueueSpec>(hist))
+        << tu::note_failure(x, "ms_queue history not linearizable");
+  }
+}
+
+TEST(ExploredLin, Mound) {
+  const unsigned threads = 3;
+  for (const xp::Options& x :
+       tu::sweep_policies(tu::test_seed(47), tu::explore_seeds(32), 0.02)) {
+    PTO_TRACE_EXPLORE(x);
+    pto::Mound<SimPlatform> m(10);
+    std::vector<typename pto::Mound<SimPlatform>::ThreadCtx> ctxs;
+    for (unsigned t = 0; t < threads; ++t) ctxs.push_back(m.make_ctx());
+    std::vector<tu::TimedOp<tu::MinPQSpec>> hist;
+    sim::Config cfg;
+    cfg.seed = tu::test_seed(47);
+    cfg.explore = x;
+    auto res = sim::run(threads, cfg, [&](unsigned tid) {
+      for (int i = 0; i < 7; ++i) {
+        if (sim::rnd() % 3 != 0) {  // bias toward inserts so extracts hit
+          auto v = static_cast<std::int32_t>(tid) * 1000 + i;
+          tu::record_timed<tu::MinPQSpec>(hist, [&] {
+            m.insert_pto(ctxs[tid], v);
+            return tu::MinPQSpec::insert(v);
+          });
+        } else {
+          tu::record_timed<tu::MinPQSpec>(hist, [&] {
+            auto got = m.extract_min_pto(ctxs[tid]);
+            return tu::MinPQSpec::extract(
+                got ? std::optional<std::int64_t>(*got) : std::nullopt);
+          });
+        }
+      }
+    });
+    ASSERT_EQ(res.uaf_count, 0u) << tu::note_failure(x, "mound uaf");
+    ASSERT_LE(hist.size(), 64u);
+    ASSERT_TRUE(tu::check_history<tu::MinPQSpec>(hist))
+        << tu::note_failure(x, "mound history not linearizable");
+  }
+}
 
 }  // namespace

@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""pto_minimize.py -- delta-debug a failing explored schedule to a minimal witness.
+
+A failing explored run (PTO_SCHED=pct/rand) dumps its decision list via
+PTO_SCHED_DUMP=<file>; each non-comment line is one "step tid" scheduling
+decision. Replaying the file (PTO_SCHED=replay:<file>) reproduces the run
+byte-identically, and -- because the replay policy falls back to the incumbent
+thread at steps with no recorded decision -- any *subset* of the decision list
+is still a valid schedule. That makes the list ddmin-able: this tool shrinks
+it to a 1-minimal set of preemptions that still fails, which is usually a
+handful of context switches one can read as a bug narrative.
+
+Usage:
+  pto_minimize.py --schedule dump.txt [--out minimal.txt] [--grep REGEX]
+                  [--timeout 120] -- <failing command...>
+
+The command is re-run with PTO_SCHED=replay:<candidate> injected into its
+environment (PTO_HTM_FAULTS etc. pass through untouched, so export the rest
+of the failure's replay token before invoking). "Failing" means nonzero exit
+status (a timeout counts), or -- with --grep -- the regex appearing in the
+combined stdout+stderr.
+
+Exit status: 0 with the minimal schedule written/printed, 1 when the full
+schedule does not reproduce the failure, 2 on usage errors.
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+
+def parse_args(argv):
+    ap = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    ap.add_argument("--schedule", required=True,
+                    help="PTO_SCHED_DUMP file of the failing run")
+    ap.add_argument("--out", default=None,
+                    help="write the minimal schedule here (default: "
+                         "<schedule>.min)")
+    ap.add_argument("--grep", default=None,
+                    help="failure predicate: regex over combined output "
+                         "(default: nonzero exit status)")
+    ap.add_argument("--timeout", type=float, default=120.0,
+                    help="per-run timeout in seconds; a timeout counts as a "
+                         "failure (default 120)")
+    ap.add_argument("--quiet", action="store_true",
+                    help="suppress per-probe progress lines")
+    if "--" not in argv:
+        ap.error("missing '--' separator before the failing command")
+    split = argv.index("--")
+    args = ap.parse_args(argv[:split])
+    args.command = argv[split + 1:]
+    if not args.command:
+        ap.error("no command given after '--'")
+    return args
+
+
+def load_schedule(path):
+    """Returns (header_lines, decision_lines)."""
+    header, decisions = [], []
+    with open(path) as f:
+        for line in f:
+            line = line.rstrip("\n")
+            if not line.strip():
+                continue
+            if line.lstrip().startswith("#"):
+                header.append(line)
+            else:
+                decisions.append(line)
+    return header, decisions
+
+
+class Prober:
+    def __init__(self, args, header):
+        self.args = args
+        self.header = header
+        self.runs = 0
+        self.pattern = re.compile(args.grep) if args.grep else None
+
+    def fails(self, decisions):
+        """Run the command against this candidate decision list."""
+        self.runs += 1
+        fd, path = tempfile.mkstemp(prefix="pto_min_", suffix=".txt")
+        try:
+            with os.fdopen(fd, "w") as f:
+                for line in self.header:
+                    f.write(line + "\n")
+                for line in decisions:
+                    f.write(line + "\n")
+            env = dict(os.environ)
+            env["PTO_SCHED"] = "replay:" + path
+            env.pop("PTO_SCHED_DUMP", None)  # don't clobber the evidence
+            try:
+                proc = subprocess.run(
+                    self.args.command, env=env, timeout=self.args.timeout,
+                    stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
+            except subprocess.TimeoutExpired:
+                return True
+            if self.pattern is not None:
+                return bool(self.pattern.search(
+                    proc.stdout.decode("utf-8", "replace")))
+            return proc.returncode != 0
+        finally:
+            os.unlink(path)
+
+    def note(self, msg):
+        if not self.args.quiet:
+            print(f"[pto_minimize] {msg}", file=sys.stderr)
+
+
+def ddmin(prober, decisions):
+    """Classic ddmin: shrink to a 1-minimal failing subset."""
+    n = 2
+    while len(decisions) >= 2:
+        chunk = max(1, len(decisions) // n)
+        chunks = [decisions[i:i + chunk]
+                  for i in range(0, len(decisions), chunk)]
+        reduced = False
+        # Try each chunk alone, then each complement.
+        for candidate_set in ([c for c in chunks] +
+                              [sum(chunks[:i] + chunks[i + 1:], [])
+                               for i in range(len(chunks))]):
+            if len(candidate_set) == len(decisions) or not candidate_set:
+                continue
+            if prober.fails(candidate_set):
+                prober.note(
+                    f"reduced {len(decisions)} -> {len(candidate_set)} "
+                    f"decisions (probe {prober.runs})")
+                decisions = candidate_set
+                n = max(2, n - 1)
+                reduced = True
+                break
+        if not reduced:
+            if n >= len(decisions):
+                break
+            n = min(len(decisions), 2 * n)
+    # Final 1-minimality pass: drop single decisions.
+    i = 0
+    while i < len(decisions):
+        candidate = decisions[:i] + decisions[i + 1:]
+        if candidate and prober.fails(candidate):
+            decisions = candidate
+        else:
+            i += 1
+    return decisions
+
+
+def main(argv):
+    args = parse_args(argv)
+    header, decisions = load_schedule(args.schedule)
+    if not decisions:
+        print("[pto_minimize] schedule has no decisions; nothing to shrink",
+              file=sys.stderr)
+        return 2
+    prober = Prober(args, header)
+    prober.note(f"{len(decisions)} decisions; verifying the failure "
+                f"reproduces under replay...")
+    if not prober.fails(decisions):
+        print("[pto_minimize] full schedule does not reproduce the failure "
+              "(is the rest of the replay token -- PTO_HTM_FAULTS, seeds -- "
+              "exported?)", file=sys.stderr)
+        return 1
+    minimal = ddmin(prober, decisions)
+    out = args.out or args.schedule + ".min"
+    with open(out, "w") as f:
+        for line in header:
+            f.write(line + "\n")
+        f.write(f"# minimized: {len(decisions)} -> {len(minimal)} decisions "
+                f"in {prober.runs} probes\n")
+        for line in minimal:
+            f.write(line + "\n")
+    print(f"[pto_minimize] minimal witness: {len(minimal)} decisions "
+          f"({prober.runs} probes) -> {out}")
+    for line in minimal:
+        print(f"  {line}")
+    print(f"replay with: PTO_SCHED=replay:{out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
