@@ -1,0 +1,93 @@
+#include "benchutil/native_runner.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "htm/htm.h"
+#include "obs/obs.h"
+#include "obs/perf_counters.h"
+#include "obs/tsc.h"
+#include "telemetry/emit.h"
+#include "telemetry/registry.h"
+
+namespace pto::bench {
+
+namespace {
+
+/// One trial: barrier-start `threads` real threads over `body`, return the
+/// wall-clock makespan in nanoseconds (start release -> last join).
+std::uint64_t run_trial(
+    unsigned threads, std::uint64_t ops,
+    const std::function<void(unsigned, std::uint64_t)>& body) {
+  std::atomic<unsigned> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> ts;
+  ts.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    ts.emplace_back([&, t] {
+      ready.fetch_add(1, std::memory_order_acq_rel);
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      body(t, ops);
+    });
+  }
+  while (ready.load(std::memory_order_acquire) < threads) {
+  }
+  const std::uint64_t t0 = obs::steady_ns();
+  go.store(true, std::memory_order_release);
+  for (auto& th : ts) th.join();
+  return obs::steady_ns() - t0;
+}
+
+}  // namespace
+
+double native_measure_point(
+    const RunnerOptions& opts, unsigned threads,
+    const std::function<std::function<void(unsigned, std::uint64_t)>()>&
+        make_fixture,
+    const char* bench, const char* series) {
+  // Pin backend selection before any worker thread can race the probe.
+  (void)htm::backend();
+  const bool emit =
+      telemetry::stats_format() != telemetry::StatsFormat::kOff &&
+      bench != nullptr;
+  PrefixStats reg_before;
+  if (emit) reg_before = telemetry::registry_totals();
+  if (obs::hist_on()) obs::reset_latency();
+  const obs::PerfSample perf_before = obs::perf_read();
+
+  double best = 0.0;
+  for (unsigned trial = 0; trial < opts.trials; ++trial) {
+    auto body = make_fixture();
+    const std::uint64_t ns = run_trial(threads, opts.ops_per_thread, body);
+    const double total_ops =
+        static_cast<double>(opts.ops_per_thread) * threads;
+    const double ops_per_ms = ns == 0 ? 0.0 : total_ops * 1e6 /
+                                                  static_cast<double>(ns);
+    if (ops_per_ms > best) best = ops_per_ms;
+  }
+
+  if (emit) {
+    telemetry::BenchPoint pt;
+    pt.bench = bench;
+    pt.series = series != nullptr ? series : "";
+    pt.threads = threads;
+    pt.trials = opts.trials;
+    pt.ops_per_ms = best;
+    pt.sim.ops_completed =
+        opts.ops_per_thread * threads * opts.trials;  // summed over trials
+    pt.prefix = telemetry::registry_delta(reg_before);
+    if (obs::hist_on()) {
+      const obs::MergedLatency merged = obs::merged_latency(&pt.lat_sites);
+      pt.lat = merged.all;
+      pt.lat_fast = merged.fast;
+      pt.lat_fallback = merged.fallback;
+    }
+    pt.perf = obs::perf_delta(perf_before, obs::perf_read());
+    telemetry::emit_bench_point(pt);
+  }
+  return best;
+}
+
+}  // namespace pto::bench

@@ -1,0 +1,36 @@
+// Native (std::thread) bench runner: the real-hardware counterpart of
+// benchutil/runner.h's simulator sweeps, and the reporting surface for the
+// pto::obs stack. Reuses the same RunnerOptions / PTO_BENCH_* knobs.
+//
+// Differences from the simulator runner, both deliberate:
+//   * Throughput is wall-clock (steady_clock around a start-barrier'd
+//     parallel section), and the reported figure is the BEST trial, not the
+//     mean — native runs share the machine with the OS, and best-of is the
+//     standard de-noising for small trial counts (the per-trial spread is
+//     visible in the latency histograms instead).
+//   * With PTO_OBS=1, per-op latency percentiles (recorded by the fixture
+//     through obs::OpTimer) are merged per point and attached to the emitted
+//     BenchPoint; with PTO_PERF=1, hardware counters are sampled around the
+//     point. Histograms are reset at each point boundary.
+#pragma once
+
+#include <functional>
+
+#include "benchutil/runner.h"
+
+namespace pto::bench {
+
+/// One measured native point: run `body(tid, ops)` on `threads` real threads
+/// per trial, return best-trial throughput in ops/ms. `make_fixture` runs
+/// before each trial on the calling thread and returns the per-thread body
+/// (which records per-op latency itself via obs::OpTimer when armed).
+///
+/// When `bench` is given and PTO_STATS is active, emits a structured record
+/// with the registry delta, latency summaries, and perf counters.
+double native_measure_point(
+    const RunnerOptions& opts, unsigned threads,
+    const std::function<std::function<void(unsigned, std::uint64_t)>()>&
+        make_fixture,
+    const char* bench = nullptr, const char* series = nullptr);
+
+}  // namespace pto::bench

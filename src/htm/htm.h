@@ -10,12 +10,22 @@
 #include <csetjmp>
 #include <cstdint>
 
+#include "htm/rtm_status.h"
 #include "htm/softhtm.h"
 #include "htm/txcode.h"
 #include "telemetry/registry.h"
 
 #if defined(PTO_HAVE_RTM)
 #include <immintrin.h>
+
+// rtm_status.h mirrors the ISA-defined bit layout so the decoder is testable
+// without TSX; pin the mirror to the intrinsic header's definitions.
+static_assert(pto::htm::kRtmExplicit == _XABORT_EXPLICIT);
+static_assert(pto::htm::kRtmRetry == _XABORT_RETRY);
+static_assert(pto::htm::kRtmConflict == _XABORT_CONFLICT);
+static_assert(pto::htm::kRtmCapacity == _XABORT_CAPACITY);
+static_assert(pto::htm::kRtmDebug == _XABORT_DEBUG);
+static_assert(pto::htm::kRtmNested == _XABORT_NESTED);
 #endif
 
 namespace pto::htm {
@@ -48,13 +58,6 @@ Backend probe_backend();
 /// softhtm::abort_tx (the longjmp bypasses tx_begin's return).
 telemetry::Site* native_site();
 #if defined(PTO_HAVE_RTM)
-/// Map an _xbegin status word to our unified codes.
-inline unsigned map_rtm_status(unsigned s) {
-  if (s & _XABORT_EXPLICIT) return TX_ABORT_EXPLICIT;
-  if (s & _XABORT_CONFLICT) return TX_ABORT_CONFLICT;
-  if (s & _XABORT_CAPACITY) return TX_ABORT_CAPACITY;
-  return TX_ABORT_OTHER;
-}
 extern thread_local unsigned char tls_rtm_user_code;
 #endif
 }  // namespace detail
@@ -64,11 +67,8 @@ inline unsigned tx_begin() {
   if (backend() == Backend::kRTM) {
     unsigned s = _xbegin();
     if (s == _XBEGIN_STARTED) return TX_STARTED;
-    if (s & _XABORT_EXPLICIT) {
-      detail::tls_rtm_user_code =
-          static_cast<unsigned char>(_XABORT_CODE(s));
-    }
-    unsigned code = detail::map_rtm_status(s);
+    if (s & kRtmExplicit) detail::tls_rtm_user_code = rtm_abort_code(s);
+    unsigned code = decode_rtm_status(s);
     if (PTO_UNLIKELY(telemetry::enabled())) {
       telemetry::site_abort(detail::native_site(), code);
     }

@@ -1,0 +1,53 @@
+// Pure decoding of the Intel RTM abort status word (EAX after _xbegin) onto
+// the stable txcode.h taxonomy, so native counters are bucket-for-bucket
+// comparable with SoftHTM and simulator runs.
+//
+// The bit layout is fixed by the ISA (Intel SDM Vol. 1, §16.3.5 "RTM Abort
+// Status Definition"), so the constants below are defined unconditionally and
+// the whole decoder is testable on machines without TSX; when the RTM backend
+// is compiled in, htm.h static_asserts them against <immintrin.h>.
+#pragma once
+
+#include "htm/txcode.h"
+
+namespace pto::htm {
+
+/// RTM abort status bits (mirrors _XABORT_* from <immintrin.h>).
+inline constexpr unsigned kRtmExplicit = 1u << 0;  ///< _xabort executed
+inline constexpr unsigned kRtmRetry = 1u << 1;     ///< may succeed on retry
+inline constexpr unsigned kRtmConflict = 1u << 2;  ///< data conflict
+inline constexpr unsigned kRtmCapacity = 1u << 3;  ///< buffer overflow
+inline constexpr unsigned kRtmDebug = 1u << 4;     ///< debug breakpoint hit
+inline constexpr unsigned kRtmNested = 1u << 5;    ///< abort in a nested tx
+
+/// User payload of an explicit abort (valid only when kRtmExplicit is set).
+constexpr unsigned char rtm_abort_code(unsigned s) {
+  return static_cast<unsigned char>((s >> 24) & 0xffu);
+}
+
+/// Map a raw _xbegin status word to a TxAbort bucket.
+///
+/// Priority order matters because the hardware can set several bits at once
+/// (kRtmNested in particular always accompanies the cause bit of the abort
+/// that tore down the nest):
+///   1. EXPLICIT  — the program asked; the user code says why.
+///   2. CAPACITY  — deterministic resource exhaustion; never worth retrying,
+///                  must win over an incidental conflict bit.
+///   3. CONFLICT  — another thread touched our read/write set.
+///   4. DEBUG     — trap inside the transaction; OTHER (tooling artifact).
+///   5. RETRY set alone — transient micro-architectural abort (interrupt,
+///                  TLB shootdown, ...): the hardware's "spurious" signal,
+///                  mapped to TX_ABORT_SPURIOUS like the simulator's injected
+///                  faults.
+///   6. status 0  — the CPU provides no information (syscall/CPUID/page
+///                  fault inside the transaction): OTHER.
+constexpr unsigned decode_rtm_status(unsigned s) {
+  if (s & kRtmExplicit) return TX_ABORT_EXPLICIT;
+  if (s & kRtmCapacity) return TX_ABORT_CAPACITY;
+  if (s & kRtmConflict) return TX_ABORT_CONFLICT;
+  if (s & kRtmDebug) return TX_ABORT_OTHER;
+  if (s & kRtmRetry) return TX_ABORT_SPURIOUS;
+  return TX_ABORT_OTHER;
+}
+
+}  // namespace pto::htm

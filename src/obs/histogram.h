@@ -1,0 +1,126 @@
+// HDR-style log-linear latency histogram.
+//
+// Bucket layout: values below 2^kSubBits map one bucket per value; above
+// that, each power-of-two tier is split into 2^kSubBits linear sub-buckets,
+// giving a fixed relative error of at most one sub-bucket width (~3% with
+// kSubBits = 5) across the full uint64 range. The layout is a pure function
+// of the value, so histograms recorded by different threads (or processes)
+// merge by bucket-wise addition — merging is associative and commutative.
+//
+// Concurrency contract: record() is single-writer (each thread owns its
+// histogram; pto::obs shards per thread and per site). merge()/quantile()
+// read plain counters and are meant to run at quiescence — the bench runner
+// merges after worker threads join, which is what "lock-free merge at
+// emission" means here: no lock is ever taken, because the sharding removes
+// the need for one.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+
+namespace pto::obs {
+
+inline constexpr unsigned kHistSubBits = 5;
+inline constexpr unsigned kHistSub = 1u << kHistSubBits;  // 32 sub-buckets
+/// Tiers: one linear region (values < kHistSub) + one per exponent 5..63.
+inline constexpr unsigned kHistBuckets = kHistSub * (64 - kHistSubBits + 1);
+
+/// Bucket index for a value (log-linear; monotone non-decreasing in v).
+constexpr unsigned hist_bucket_index(std::uint64_t v) {
+  if (v < kHistSub) return static_cast<unsigned>(v);
+  const unsigned top = 63u - static_cast<unsigned>(std::countl_zero(v));
+  const unsigned sub =
+      static_cast<unsigned>(v >> (top - kHistSubBits)) & (kHistSub - 1);
+  return (top - kHistSubBits + 1) * kHistSub + sub;
+}
+
+/// Smallest value mapping to bucket `idx`.
+constexpr std::uint64_t hist_bucket_lower(unsigned idx) {
+  if (idx < kHistSub) return idx;
+  const unsigned tier = idx / kHistSub;  // >= 1
+  const unsigned top = tier + kHistSubBits - 1;
+  const unsigned sub = idx % kHistSub;
+  return (1ull << top) + (static_cast<std::uint64_t>(sub) << (top - kHistSubBits));
+}
+
+/// Width of bucket `idx` (1 in the linear region, doubling per tier).
+constexpr std::uint64_t hist_bucket_width(unsigned idx) {
+  if (idx < kHistSub) return 1;
+  return 1ull << (idx / kHistSub - 1);
+}
+
+/// Quantile summary in the histogram's recording unit.
+struct HistSummary {
+  std::uint64_t samples = 0;
+  std::uint64_t p50 = 0;
+  std::uint64_t p90 = 0;
+  std::uint64_t p99 = 0;
+  std::uint64_t p999 = 0;
+  std::uint64_t max = 0;
+};
+
+class Histogram {
+ public:
+  Histogram() { reset(); }
+
+  void record(std::uint64_t v) {
+    ++counts_[hist_bucket_index(v)];
+    ++total_;
+    if (v > max_) max_ = v;
+  }
+
+  void merge(const Histogram& o) {
+    for (unsigned i = 0; i < kHistBuckets; ++i) counts_[i] += o.counts_[i];
+    total_ += o.total_;
+    if (o.max_ > max_) max_ = o.max_;
+  }
+
+  void reset() {
+    std::memset(counts_, 0, sizeof counts_);
+    total_ = 0;
+    max_ = 0;
+  }
+
+  std::uint64_t total() const { return total_; }
+  std::uint64_t max_value() const { return max_; }
+  std::uint64_t bucket_count(unsigned idx) const { return counts_[idx]; }
+
+  /// Value at quantile q in [0,1]: the midpoint of the bucket holding the
+  /// ceil(q * total)-th sample (rank from 1), so the error against an exact
+  /// oracle is bounded by one bucket width. 0 when empty.
+  std::uint64_t quantile(double q) const {
+    if (total_ == 0) return 0;
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        q * static_cast<double>(total_) + 0.9999999);
+    if (rank < 1) rank = 1;
+    if (rank > total_) rank = total_;
+    std::uint64_t seen = 0;
+    for (unsigned i = 0; i < kHistBuckets; ++i) {
+      seen += counts_[i];
+      if (seen >= rank) {
+        return hist_bucket_lower(i) + (hist_bucket_width(i) - 1) / 2;
+      }
+    }
+    return max_;  // unreachable: seen reaches total_
+  }
+
+  HistSummary summarize() const {
+    HistSummary s;
+    s.samples = total_;
+    if (total_ == 0) return s;
+    s.p50 = quantile(0.50);
+    s.p90 = quantile(0.90);
+    s.p99 = quantile(0.99);
+    s.p999 = quantile(0.999);
+    s.max = max_;
+    return s;
+  }
+
+ private:
+  std::uint64_t counts_[kHistBuckets];
+  std::uint64_t total_;
+  std::uint64_t max_;
+};
+
+}  // namespace pto::obs

@@ -1,0 +1,134 @@
+// pto::obs — low-overhead observability for NATIVE (non-simx) runs: per-site
+// op-latency histograms, the flight recorder (obs/flight.h), and optional
+// hardware perf counters (obs/perf_counters.h). Simulated runs ignore every
+// knob here: simx latencies are virtual cycles and already exactly observable
+// through PTO_PROF/PTO_TRACE.
+//
+//   PTO_OBS=1          arm per-op latency histograms (native bench runners)
+//   PTO_OBS_SAMPLE=<k> time 1 in k ops (rounded to a power of two; default 1
+//                      = every op). Percentiles over a uniform subsample are
+//                      unbiased for a stationary workload; use k=8..64 when
+//                      the two RDTSCs per timed op would be material against
+//                      sub-microsecond ops.
+//   PTO_FLIGHT=<n>     arm the per-thread flight recorder, ring of n events
+//   PTO_PERF=1         sample hardware perf counters around bench points
+//
+// Recording model: a LatencySite is a named op class ("native_set.insert").
+// Each (thread, site) pair owns two private log-linear histograms — one for
+// ops whose prefix attempts all committed on the fast path, one for ops that
+// took at least one fallback — so the hot path is a single-writer bucket
+// increment with no sharing. Merging happens at emission, after worker
+// threads have quiesced (bench runners join before reading), by bucket-wise
+// summation across threads.
+//
+// Overhead budget (the native-obs CI job enforces <= 5% end to end): two
+// RDTSCs + one branch + one increment per op with PTO_OBS=1, a 16-byte ring
+// store per transaction event with PTO_FLIGHT set, nothing at all when off
+// (one relaxed bool load behind PTO_UNLIKELY).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/defs.h"
+#include "obs/histogram.h"
+#include "obs/tsc.h"
+
+namespace pto::obs {
+
+namespace detail {
+extern bool g_hist_on;  ///< set once from PTO_OBS before threads start
+/// PTO_OBS_SAMPLE - 1 (power of two): an op is timed when
+/// (++tls_op_seq & g_sample_mask) == 0. 0 = time every op.
+extern std::uint64_t g_sample_mask;
+extern thread_local std::uint64_t tls_op_seq;
+/// Ops classified fallback when this thread-local moved during the op
+/// (bumped by telemetry::site_fallback when histograms are armed).
+extern thread_local std::uint64_t tls_fallbacks;
+}  // namespace detail
+
+/// True when PTO_OBS armed latency histograms (read-only after startup).
+inline bool hist_on() { return detail::g_hist_on; }
+
+/// Test hook: force histograms on/off (not thread-safe; call at quiescence).
+void set_hist_on(bool on);
+
+inline void note_fallback() { ++detail::tls_fallbacks; }
+
+/// Latency summaries in nanoseconds, split by path taken.
+struct LatencySiteSummary {
+  std::string site;
+  HistSummary fast;      ///< ops fully served by committed prefix attempts
+  HistSummary fallback;  ///< ops that executed at least one fallback
+};
+
+class LatencySite {
+ public:
+  explicit LatencySite(std::string name, unsigned id)
+      : name_(std::move(name)), id_(id) {}
+  LatencySite(const LatencySite&) = delete;
+  LatencySite& operator=(const LatencySite&) = delete;
+
+  const std::string& name() const { return name_; }
+  unsigned id() const { return id_; }
+
+ private:
+  std::string name_;
+  unsigned id_;
+};
+
+/// Find-or-create a latency site; pointers are stable for process lifetime.
+LatencySite* intern_latency_site(std::string_view name);
+
+/// Record one op's latency (ticks) under `site`; single producer per thread.
+void record_latency(LatencySite* site, bool fallback, std::uint64_t ticks);
+
+/// Zero every (thread, site) histogram. Call at quiescence (between bench
+/// points) so each emitted summary covers exactly one measurement window.
+void reset_latency();
+
+/// Merge across threads and convert to nanoseconds. `out_sites` (optional)
+/// receives the per-site split; the return value aggregates every site.
+/// Call at quiescence.
+struct MergedLatency {
+  HistSummary all;
+  HistSummary fast;
+  HistSummary fallback;
+};
+MergedLatency merged_latency(std::vector<LatencySiteSummary>* out_sites);
+
+/// Scoped per-op timer: reads the tsc on entry, records on done()/destruction
+/// and classifies fast vs fallback by whether tls_fallbacks moved. All no-ops
+/// unless hist_on().
+class OpTimer {
+ public:
+  explicit OpTimer(LatencySite* site) : site_(site) {
+    if (PTO_UNLIKELY(hist_on()) &&
+        (++detail::tls_op_seq & detail::g_sample_mask) == 0) {
+      fb0_ = detail::tls_fallbacks;
+      t0_ = now_ticks();
+      armed_ = true;
+    }
+  }
+  OpTimer(const OpTimer&) = delete;
+  OpTimer& operator=(const OpTimer&) = delete;
+  ~OpTimer() { done(); }
+
+  void done() {
+    if (!armed_) return;
+    armed_ = false;
+    const std::uint64_t t1 = now_ticks();
+    record_latency(site_, detail::tls_fallbacks != fb0_,
+                   t1 > t0_ ? t1 - t0_ : 0);
+  }
+
+ private:
+  LatencySite* site_;
+  std::uint64_t t0_ = 0;
+  std::uint64_t fb0_ = 0;
+  bool armed_ = false;
+};
+
+}  // namespace pto::obs

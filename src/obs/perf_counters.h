@@ -1,0 +1,43 @@
+// Optional hardware performance counters around native bench points.
+//
+//   PTO_PERF=1   sample cycles, instructions, LLC misses, and — when the
+//                PMU exposes them (sysfs cpu/events/tx-*) — Intel TSX
+//                transaction start/abort/capacity/conflict counts.
+//
+// Counters are opened once, process-wide, with perf_event_attr.inherit set,
+// BEFORE bench worker threads exist, so child threads are aggregated into
+// the parent's counts on read. Everything degrades gracefully: if the
+// perf_event_open syscall is unavailable (seccomp'd container, paranoid
+// sysctl) or an event is unknown, a single warning is printed and the
+// corresponding fields are simply omitted from emission. Non-Linux builds
+// compile to permanent no-ops.
+#pragma once
+
+#include <cstdint>
+
+namespace pto::obs {
+
+/// One sampled window. `valid` covers the core trio; `tsx_valid` the TSX
+/// events (often absent even where RTM executes, e.g. in VMs).
+struct PerfSample {
+  bool valid = false;
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t llc_misses = 0;
+  bool tsx_valid = false;
+  std::uint64_t tx_start = 0;
+  std::uint64_t tx_abort = 0;
+  std::uint64_t tx_capacity = 0;
+  std::uint64_t tx_conflict = 0;
+};
+
+/// True when PTO_PERF=1 and at least one counter opened.
+bool perf_on();
+
+/// Snapshot current counter values (monotonic totals since open).
+PerfSample perf_read();
+
+/// Difference of two snapshots taken around a measurement window.
+PerfSample perf_delta(const PerfSample& before, const PerfSample& after);
+
+}  // namespace pto::obs

@@ -1,0 +1,51 @@
+#include "obs/tsc.h"
+
+#include <chrono>
+
+namespace pto::obs {
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+namespace {
+
+#if defined(__x86_64__) || defined(__i386__)
+std::uint64_t calibrate_hz() {
+  // Two (steady_clock, tsc) sample pairs bracketing a ~10 ms spin. Taking
+  // the tsc sample immediately after the clock sample on both ends makes the
+  // syscall/vdso latency common-mode.
+  const std::uint64_t ns0 = steady_ns();
+  const std::uint64_t t0 = __rdtsc();
+  const std::uint64_t target = ns0 + 10'000'000;  // 10 ms window
+  std::uint64_t ns1 = ns0;
+  while (ns1 < target) ns1 = steady_ns();
+  const std::uint64_t t1 = __rdtsc();
+  if (t1 <= t0 || ns1 <= ns0) return 1'000'000'000ull;  // degenerate: 1:1
+  const double hz = static_cast<double>(t1 - t0) * 1e9 /
+                    static_cast<double>(ns1 - ns0);
+  return static_cast<std::uint64_t>(hz);
+}
+#else
+std::uint64_t calibrate_hz() { return 1'000'000'000ull; }
+#endif
+
+}  // namespace
+
+std::uint64_t ticks_per_sec() {
+  static const std::uint64_t hz = calibrate_hz();
+  return hz;
+}
+
+std::uint64_t ticks_to_ns(std::uint64_t ticks) {
+  const std::uint64_t hz = ticks_per_sec();
+  if (hz == 1'000'000'000ull) return ticks;
+  // 128-bit intermediate: ticks * 1e9 overflows u64 after ~18 s of cycles.
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(ticks) * 1'000'000'000ull) / hz);
+}
+
+}  // namespace pto::obs

@@ -1,0 +1,38 @@
+// Cycle-granular timestamps for the native observability stack (pto::obs).
+//
+// On x86-64 `now_ticks()` is a bare RDTSC (~7 ns, no serialization: op
+// latencies here are hundreds of nanoseconds and the histogram buckets absorb
+// a few cycles of skid); elsewhere it falls back to steady_clock nanoseconds.
+// Tick-to-nanosecond conversion is calibrated ONCE against steady_clock over
+// a short spin window, on first use — call sites that never convert (the
+// recording hot path stores raw ticks) never pay for calibration.
+#pragma once
+
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#endif
+
+namespace pto::obs {
+
+/// steady_clock in nanoseconds (the calibration reference).
+std::uint64_t steady_ns();
+
+/// Raw timestamp in ticks (TSC counts on x86, nanoseconds elsewhere).
+inline std::uint64_t now_ticks() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __rdtsc();
+#else
+  return steady_ns();
+#endif
+}
+
+/// Calibrated tick frequency in Hz (exactly 1e9 on the fallback clock).
+/// First call spins for ~10 ms; the result is cached for the process.
+std::uint64_t ticks_per_sec();
+
+/// Convert a tick delta to nanoseconds using the calibrated frequency.
+std::uint64_t ticks_to_ns(std::uint64_t ticks);
+
+}  // namespace pto::obs

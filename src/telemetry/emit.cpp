@@ -102,8 +102,23 @@ const std::string& or_default(const std::string& v, const char* dflt) {
   return tmp;
 }
 
+/// The summary's fields without the enclosing braces, so the top-level
+/// "latency" object can append the fast/fallback/sites members after them.
+void json_summary_fields(std::ostream& os, const obs::HistSummary& s) {
+  os << "\"samples\":" << s.samples << ",\"p50_ns\":" << s.p50
+     << ",\"p90_ns\":" << s.p90 << ",\"p99_ns\":" << s.p99
+     << ",\"p999_ns\":" << s.p999 << ",\"max_ns\":" << s.max;
+}
+
+void json_summary(std::ostream& os, const obs::HistSummary& s) {
+  os << "{";
+  json_summary_fields(os, s);
+  os << "}";
+}
+
 void emit_json(std::ostream& os, const BenchPoint& p) {
-  os << "{\"type\":\"bench_point\",\"bench\":";
+  os << "{\"type\":\"bench_point\",\"schema_version\":" << kStatsSchemaVersion
+     << ",\"bench\":";
   json_str(os, p.bench);
   os << ",\"series\":";
   json_str(os, p.series);
@@ -130,6 +145,46 @@ void emit_json(std::ostream& os, const BenchPoint& p) {
      << ",\"prefix_fallbacks\":" << p.prefix.fallbacks
      << ",\"fallback_fraction\":";
   num(os, fallback_fraction(p.prefix));
+  // v2: per-cause prefix abort buckets — on native runs this is where the
+  // decoded RTM/SoftHTM abort causes land (sim.tx_aborts stays zero there).
+  os << ",\"prefix_aborts\":{";
+  for (unsigned c = 1; c < kTxCodeCount; ++c) {
+    os << (c == 1 ? "\"" : ",\"") << tx_code_name(c)
+       << "\":" << p.prefix.aborts[c];
+  }
+  os << "},\"latency\":{";
+  json_summary_fields(os, p.lat);
+  os << ",\"fast\":";
+  json_summary(os, p.lat_fast);
+  os << ",\"fallback\":";
+  json_summary(os, p.lat_fallback);
+  if (!p.lat_sites.empty()) {
+    os << ",\"sites\":[";
+    for (std::size_t i = 0; i < p.lat_sites.size(); ++i) {
+      if (i != 0) os << ',';
+      os << "{\"site\":";
+      json_str(os, p.lat_sites[i].site);
+      os << ",\"fast\":";
+      json_summary(os, p.lat_sites[i].fast);
+      os << ",\"fallback\":";
+      json_summary(os, p.lat_sites[i].fallback);
+      os << "}";
+    }
+    os << "]";
+  }
+  os << "}";
+  if (p.perf.valid) {
+    os << ",\"perf\":{\"cycles\":" << p.perf.cycles
+       << ",\"instructions\":" << p.perf.instructions
+       << ",\"llc_misses\":" << p.perf.llc_misses;
+    if (p.perf.tsx_valid) {
+      os << ",\"tx_start\":" << p.perf.tx_start
+         << ",\"tx_abort\":" << p.perf.tx_abort
+         << ",\"tx_capacity\":" << p.perf.tx_capacity
+         << ",\"tx_conflict\":" << p.perf.tx_conflict;
+    }
+    os << "}";
+  }
   os << ",\"git_sha\":";
   json_str(os, or_default(p.git_sha, build_git_sha()));
   os << ",\"build_type\":";
@@ -137,6 +192,17 @@ void emit_json(std::ostream& os, const BenchPoint& p) {
   os << ",\"fiber_backend\":";
   json_str(os, or_default(p.fiber_backend, fiber_backend()));
   os << "}\n";
+}
+
+void csv_summary_header(std::ostream& os, const char* prefix) {
+  os << ',' << prefix << "_samples," << prefix << "_p50_ns," << prefix
+     << "_p90_ns," << prefix << "_p99_ns," << prefix << "_p999_ns," << prefix
+     << "_max_ns";
+}
+
+void csv_summary(std::ostream& os, const obs::HistSummary& s) {
+  os << ',' << s.samples << ',' << s.p50 << ',' << s.p90 << ',' << s.p99
+     << ',' << s.p999 << ',' << s.max;
 }
 
 void emit_csv(std::ostream& os, const BenchPoint& p, bool header) {
@@ -147,8 +213,18 @@ void emit_csv(std::ostream& os, const BenchPoint& p, bool header) {
       os << ",aborts_" << tx_code_name(c);
     }
     os << ",abort_total,fences,fences_elided,allocs,frees,prefix_attempts,"
-          "prefix_commits,prefix_fallbacks,fallback_fraction,git_sha,"
-          "build_type,fiber_backend\n";
+          "prefix_commits,prefix_fallbacks,fallback_fraction";
+    for (unsigned c = 1; c < kTxCodeCount; ++c) {
+      os << ",prefix_aborts_" << tx_code_name(c);
+    }
+    csv_summary_header(os, "lat");
+    csv_summary_header(os, "lat_fast");
+    csv_summary_header(os, "lat_fallback");
+    // Perf cells stay empty (not zero) when counters were unavailable, so
+    // "sampled as zero" and "not sampled" are distinguishable.
+    os << ",perf_cycles,perf_instructions,perf_llc_misses,perf_tx_start,"
+          "perf_tx_abort,perf_tx_capacity,perf_tx_conflict";
+    os << ",schema_version,git_sha,build_type,fiber_backend\n";
   }
   csv_str(os, p.bench);
   os << ',';
@@ -165,7 +241,25 @@ void emit_csv(std::ostream& os, const BenchPoint& p, bool header) {
      << ',' << p.prefix.attempts << ',' << p.prefix.commits << ','
      << p.prefix.fallbacks << ',';
   num(os, fallback_fraction(p.prefix));
-  os << ',';
+  for (unsigned c = 1; c < kTxCodeCount; ++c) {
+    os << ',' << p.prefix.aborts[c];
+  }
+  csv_summary(os, p.lat);
+  csv_summary(os, p.lat_fast);
+  csv_summary(os, p.lat_fallback);
+  if (p.perf.valid) {
+    os << ',' << p.perf.cycles << ',' << p.perf.instructions << ','
+       << p.perf.llc_misses;
+    if (p.perf.tsx_valid) {
+      os << ',' << p.perf.tx_start << ',' << p.perf.tx_abort << ','
+         << p.perf.tx_capacity << ',' << p.perf.tx_conflict;
+    } else {
+      os << ",,,,";
+    }
+  } else {
+    os << ",,,,,,,";
+  }
+  os << ',' << kStatsSchemaVersion << ',';
   csv_str(os, or_default(p.git_sha, build_git_sha()));
   os << ',';
   csv_str(os, or_default(p.build_type, build_type()));

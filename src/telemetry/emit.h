@@ -13,13 +13,23 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "core/prefix.h"
+#include "obs/obs.h"
+#include "obs/perf_counters.h"
 #include "sim/sim.h"
 
 namespace pto::telemetry {
 
 enum class StatsFormat { kOff, kJson, kCsv };
+
+/// Emitted as `schema_version` in every record. History:
+///   1  (implicit, PR 1): throughput + abort buckets + prefix counters
+///   2  (PR 6): explicit schema_version, per-cause prefix abort buckets,
+///      native latency percentiles (lat/lat_fast/lat_fallback blocks), and
+///      optional hardware perf counter fields.
+inline constexpr unsigned kStatsSchemaVersion = 2;
 
 /// Active format. Initialized once from PTO_STATS; overridable for tests.
 StatsFormat stats_format();
@@ -42,6 +52,14 @@ struct BenchPoint {
   std::uint64_t cpu_cycles = 0;  ///< sum of final per-thread clocks
   sim::ThreadStats sim;          ///< simulator totals, summed over trials
   PrefixStats prefix;            ///< telemetry-registry delta for the point
+  // Native observability (pto::obs); all-zero / invalid on simulated points
+  // and when PTO_OBS / PTO_PERF are off — the fields still emit (as zeros or
+  // empty CSV cells) so the v2 schema is stable across configurations.
+  obs::HistSummary lat;           ///< op latency, ns, all paths merged
+  obs::HistSummary lat_fast;      ///< ops served entirely by the fast path
+  obs::HistSummary lat_fallback;  ///< ops that took at least one fallback
+  std::vector<obs::LatencySiteSummary> lat_sites;  ///< JSON-only detail
+  obs::PerfSample perf;           ///< hardware counters (PTO_PERF=1)
   // Run provenance; left empty they are filled from common/buildinfo.h at
   // emission so every record names the commit/build/backend that produced it.
   std::string git_sha;

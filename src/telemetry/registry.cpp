@@ -6,6 +6,8 @@
 #include <ostream>
 
 #include "check/check.h"
+#include "obs/flight.h"
+#include "obs/obs.h"
 #include "sim/sim.h"
 #include "telemetry/prof.h"
 
@@ -87,7 +89,11 @@ Site* Registry::intern(std::string_view name) {
   for (const auto& s : sites_) {
     if (s->name() == name) return s.get();
   }
-  sites_.push_back(std::make_unique<Site>(std::string(name)));
+  const unsigned id = static_cast<unsigned>(sites_.size());
+  sites_.push_back(std::make_unique<Site>(std::string(name), id));
+  // Publish the name into the flight recorder's lock-free table so a
+  // fatal-signal dump can label records without touching mu_.
+  obs::flight_register_site(id, sites_.back()->name().c_str());
   return sites_.back().get();
 }
 
@@ -156,23 +162,39 @@ PrefixStats registry_delta(const PrefixStats& before) {
 // (telemetry/prof.h) taps the same stream under its own independent gate so
 // PTO_PROF works without PTO_TELEMETRY.
 
+namespace {
+/// Flight-recorder tap. Native-only by contract: simulated runs already have
+/// PTO_TRACE with virtual-time fidelity, so PTO_FLIGHT is ignored there.
+inline void flight(Site* site, unsigned char event, std::uint32_t arg = 0) {
+  if (sim::active()) return;
+  obs::flight_record(
+      static_cast<std::uint16_t>(site->id() < 0xffffu ? site->id() : 0xffffu),
+      event, arg);
+}
+}  // namespace
+
 void site_attempt(Site* site) {
   if (enabled()) site->record_attempt();
+  if (PTO_UNLIKELY(obs::flight_on())) flight(site, obs::kFlightAttempt);
   if (PTO_UNLIKELY(prof::on())) prof::on_site_attempt(site);
   if (PTO_UNLIKELY(check::on())) check::on_site_attempt(site);
 }
 void site_commit(Site* site) {
   if (enabled()) site->record_commit();
+  if (PTO_UNLIKELY(obs::flight_on())) flight(site, obs::kFlightCommit);
   if (PTO_UNLIKELY(prof::on())) prof::on_site_commit(site);
   if (PTO_UNLIKELY(check::on())) check::on_site_commit(site);
 }
 void site_abort(Site* site, unsigned cause) {
   if (enabled()) site->record_abort(cause);
+  if (PTO_UNLIKELY(obs::flight_on())) flight(site, obs::kFlightAbort, cause);
   if (PTO_UNLIKELY(prof::on())) prof::on_site_abort(site, cause);
   if (PTO_UNLIKELY(check::on())) check::on_site_abort(site, cause);
 }
 void site_fallback(Site* site) {
   if (enabled()) site->record_fallback();
+  if (PTO_UNLIKELY(obs::hist_on())) obs::note_fallback();
+  if (PTO_UNLIKELY(obs::flight_on())) flight(site, obs::kFlightFallback);
   if (PTO_UNLIKELY(prof::on())) prof::on_site_fallback(site);
   if (PTO_UNLIKELY(check::on())) check::on_site_fallback(site);
 }

@@ -58,11 +58,15 @@ struct alignas(kCacheLine) SiteShard {
 
 class Site {
  public:
-  explicit Site(std::string name) : name_(std::move(name)) {}
+  explicit Site(std::string name, unsigned id = 0)
+      : name_(std::move(name)), id_(id) {}
   Site(const Site&) = delete;
   Site& operator=(const Site&) = delete;
 
   const std::string& name() const { return name_; }
+  /// Dense registration index (assigned by Registry::intern); used as the
+  /// compact site key in flight-recorder records (obs/flight.h).
+  unsigned id() const { return id_; }
 
   // Hot-path recorders; the enabled() gate lives in the site_* free functions
   // so pto::prefix() pays only a null check plus one branch when off.
@@ -88,6 +92,7 @@ class Site {
   SiteShard& shard();
 
   std::string name_;
+  unsigned id_;
   SiteShard shards_[kMaxThreads];
 };
 

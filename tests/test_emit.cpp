@@ -49,6 +49,27 @@ BenchPoint sample_point() {
   return p;
 }
 
+/// sample_point plus the v2 observability payload (percentiles, per-cause
+/// prefix buckets, perf counters).
+BenchPoint obs_point() {
+  BenchPoint p = sample_point();
+  p.prefix.attempts = 500;
+  p.prefix.commits = 450;
+  p.prefix.fallbacks = 50;
+  p.prefix.aborts[pto::TX_ABORT_CONFLICT] = 40;
+  p.prefix.aborts[pto::TX_ABORT_SPURIOUS] = 9;
+  p.prefix.aborts[pto::TX_ABORT_OTHER] = 1;
+  p.lat = {2048, 400, 700, 1500, 6000, 21000};
+  p.lat_fast = {2000, 390, 650, 1200, 5000, 18000};
+  p.lat_fallback = {48, 2500, 5000, 9000, 15000, 21000};
+  p.lat_sites.push_back({"set.insert", p.lat_fast, p.lat_fallback});
+  p.perf.valid = true;
+  p.perf.cycles = 1000000;
+  p.perf.instructions = 2500000;
+  p.perf.llc_misses = 3200;
+  return p;
+}
+
 std::vector<std::string> split_lines(const std::string& s) {
   std::vector<std::string> out;
   std::istringstream is(s);
@@ -210,6 +231,161 @@ TEST(Emit, JsonCsvAbortBucketsRoundTrip) {
     ASSERT_GE(col, 0) << key;
     EXPECT_FALSE(row[static_cast<std::size_t>(col)].empty()) << key;
   }
+}
+
+TEST(Emit, SchemaVersionPresentInBothFormats) {
+  {
+    Capture cap(StatsFormat::kJson);
+    telemetry::emit_bench_point(sample_point());
+    testjson::Value v;
+    ASSERT_TRUE(testjson::parse(cap.os.str(), &v));
+    const testjson::Value* sv = v.find("schema_version");
+    ASSERT_NE(sv, nullptr);
+    ASSERT_TRUE(sv->is_num());
+    EXPECT_EQ(static_cast<unsigned>(sv->num()), telemetry::kStatsSchemaVersion);
+    EXPECT_EQ(static_cast<unsigned>(sv->num()), 2u);
+  }
+  {
+    Capture cap(StatsFormat::kCsv);
+    telemetry::emit_bench_point(sample_point());
+    auto lines = split_lines(cap.os.str());
+    ASSERT_EQ(lines.size(), 2u);
+    auto header = split_csv(lines[0]);
+    auto row = split_csv(lines[1]);
+    const int col = field_index(header, "schema_version");
+    ASSERT_GE(col, 0);
+    EXPECT_EQ(row[static_cast<std::size_t>(col)], "2");
+  }
+}
+
+TEST(Emit, LatencyPercentilesRoundTrip) {
+  const BenchPoint p = obs_point();
+
+  std::string json_text;
+  {
+    Capture cap(StatsFormat::kJson);
+    telemetry::emit_bench_point(p);
+    json_text = cap.os.str();
+  }
+  testjson::Value v;
+  ASSERT_TRUE(testjson::parse(json_text, &v)) << json_text;
+  const testjson::Value* lat = v.find("latency");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(static_cast<std::uint64_t>(lat->find("samples")->num()), 2048u);
+  EXPECT_EQ(static_cast<std::uint64_t>(lat->find("p50_ns")->num()), 400u);
+  EXPECT_EQ(static_cast<std::uint64_t>(lat->find("p999_ns")->num()), 6000u);
+  const testjson::Value* fast = lat->find("fast");
+  ASSERT_NE(fast, nullptr);
+  EXPECT_EQ(static_cast<std::uint64_t>(fast->find("p99_ns")->num()), 1200u);
+  const testjson::Value* fb = lat->find("fallback");
+  ASSERT_NE(fb, nullptr);
+  EXPECT_EQ(static_cast<std::uint64_t>(fb->find("max_ns")->num()), 21000u);
+
+  std::string csv_text;
+  {
+    Capture cap(StatsFormat::kCsv);
+    telemetry::emit_bench_point(p);
+    csv_text = cap.os.str();
+  }
+  auto lines = split_lines(csv_text);
+  ASSERT_EQ(lines.size(), 2u);
+  auto header = split_csv(lines[0]);
+  auto row = split_csv(lines[1]);
+  ASSERT_EQ(row.size(), header.size());
+  struct {
+    const char* col;
+    std::uint64_t want;
+  } cells[] = {
+      {"lat_samples", 2048},         {"lat_p50_ns", 400},
+      {"lat_p90_ns", 700},           {"lat_p99_ns", 1500},
+      {"lat_p999_ns", 6000},         {"lat_max_ns", 21000},
+      {"lat_fast_p99_ns", 1200},     {"lat_fallback_p50_ns", 2500},
+      {"lat_fallback_max_ns", 21000},
+  };
+  for (const auto& c : cells) {
+    const int col = field_index(header, c.col);
+    ASSERT_GE(col, 0) << c.col;
+    EXPECT_EQ(row[static_cast<std::size_t>(col)], std::to_string(c.want))
+        << c.col;
+  }
+}
+
+TEST(Emit, PrefixAbortBucketsRoundTrip) {
+  const BenchPoint p = obs_point();
+  Capture cap(StatsFormat::kJson);
+  telemetry::emit_bench_point(p);
+  testjson::Value v;
+  ASSERT_TRUE(testjson::parse(cap.os.str(), &v));
+  const testjson::Value* pa = v.find("prefix_aborts");
+  ASSERT_NE(pa, nullptr);
+  EXPECT_EQ(static_cast<std::uint64_t>(pa->find("conflict")->num()), 40u);
+  EXPECT_EQ(static_cast<std::uint64_t>(pa->find("spurious")->num()), 9u);
+  EXPECT_EQ(static_cast<std::uint64_t>(pa->find("other")->num()), 1u);
+  EXPECT_EQ(static_cast<std::uint64_t>(pa->find("capacity")->num()), 0u);
+  EXPECT_EQ(pa->find("started"), nullptr)
+      << "started is not an abort cause and must not emit a bucket";
+}
+
+TEST(Emit, PerfFieldsOmittedWhenInvalid) {
+  // JSON: no "perf" object at all when counters were unavailable.
+  {
+    Capture cap(StatsFormat::kJson);
+    telemetry::emit_bench_point(sample_point());
+    testjson::Value v;
+    ASSERT_TRUE(testjson::parse(cap.os.str(), &v));
+    EXPECT_EQ(v.find("perf"), nullptr);
+  }
+  // JSON: present (core counters, no tsx) when valid.
+  {
+    Capture cap(StatsFormat::kJson);
+    telemetry::emit_bench_point(obs_point());
+    testjson::Value v;
+    ASSERT_TRUE(testjson::parse(cap.os.str(), &v));
+    const testjson::Value* perf = v.find("perf");
+    ASSERT_NE(perf, nullptr);
+    EXPECT_EQ(static_cast<std::uint64_t>(perf->find("cycles")->num()),
+              1000000u);
+    EXPECT_EQ(perf->find("tx_start"), nullptr)
+        << "tsx fields must be absent when the PMU lacks them";
+  }
+  // CSV: cells stay EMPTY (not zero) when invalid, and alignment holds.
+  {
+    Capture cap(StatsFormat::kCsv);
+    telemetry::emit_bench_point(sample_point());
+    auto lines = split_lines(cap.os.str());
+    auto header = split_csv(lines[0]);
+    auto row = split_csv(lines[1]);
+    ASSERT_EQ(row.size(), header.size());
+    for (const char* name : {"perf_cycles", "perf_llc_misses",
+                             "perf_tx_conflict"}) {
+      const int col = field_index(header, name);
+      ASSERT_GE(col, 0) << name;
+      EXPECT_TRUE(row[static_cast<std::size_t>(col)].empty()) << name;
+    }
+  }
+}
+
+TEST(Emit, HostileNamesDoNotShiftV2Columns) {
+  Capture cap(StatsFormat::kCsv);
+  BenchPoint p = obs_point();
+  p.bench = "native,set\n2";
+  p.series = "Skip(\"PTO\", v2)";
+  telemetry::emit_bench_point(p);
+  const std::string text = cap.os.str();
+  // The embedded newline is quoted, so the logical row spans two physical
+  // lines; split on the header boundary instead.
+  const auto nl = text.find('\n');
+  ASSERT_NE(nl, std::string::npos);
+  auto header = split_csv(text.substr(0, nl));
+  std::string row_text = text.substr(nl + 1);
+  if (!row_text.empty() && row_text.back() == '\n') row_text.pop_back();
+  auto row = split_csv(row_text);
+  ASSERT_EQ(row.size(), header.size());
+  EXPECT_EQ(row[static_cast<std::size_t>(field_index(header, "bench"))],
+            "native,set\n2");
+  const int col = field_index(header, "lat_p50_ns");
+  ASSERT_GE(col, 0);
+  EXPECT_EQ(row[static_cast<std::size_t>(col)], "400");
 }
 
 }  // namespace

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Gate the observability stack's overhead against a baseline run.
+
+Reads two PTO_STATS=json logs of the SAME bench invocation — one with the
+pto::obs knobs off (baseline) and one with them armed — matches bench_point
+records by (bench, series, threads), and fails if the instrumented run's
+throughput falls more than --tolerance below baseline.
+
+De-noising, because shared CI runners drift by more than the tolerance:
+  * within a file, duplicate keys keep the BEST throughput, so callers can
+    interleave several baseline/instrumented process runs (B I B I ...) and
+    append each side to one log — interleaving cancels frequency drift;
+  * across points, the gate compares the geometric mean of the per-point
+    ratios, so a systematic slowdown fails while one noisy point does not.
+
+Usage:
+  check_obs_overhead.py baseline.json instrumented.json [--tolerance 0.05]
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def load_points(path):
+    points = {}
+    with open(path, "r", encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line.startswith("{"):
+                continue
+            try:
+                doc = json.loads(line)
+            except ValueError:
+                continue
+            if doc.get("type") != "bench_point":
+                continue
+            key = (doc.get("bench"), doc.get("series"), doc.get("threads"))
+            if (key not in points
+                    or doc.get("ops_per_ms", 0.0)
+                    > points[key].get("ops_per_ms", 0.0)):
+                points[key] = doc
+    return points
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("instrumented")
+    ap.add_argument("--tolerance", type=float, default=0.05,
+                    help="allowed fractional slowdown (default 0.05 = 5%%)")
+    args = ap.parse_args()
+
+    base = load_points(args.baseline)
+    inst = load_points(args.instrumented)
+    common = sorted(set(base) & set(inst))
+    if not common:
+        raise SystemExit("error: no matching bench_point records "
+                         "(check that both runs used PTO_STATS=json)")
+
+    log_sum = 0.0
+    n = 0
+    for key in common:
+        b = base[key].get("ops_per_ms", 0.0)
+        i = inst[key].get("ops_per_ms", 0.0)
+        if b <= 0 or i <= 0:
+            print(f"  skip {key}: non-positive throughput (base={b}, "
+                  f"instrumented={i})")
+            continue
+        ratio = i / b
+        log_sum += math.log(ratio)
+        n += 1
+        print(f"  {key[0]}/{key[1]} t={key[2]}: base={b:.1f} "
+              f"obs={i:.1f} ops/ms  ratio={ratio:.3f}")
+    if n == 0:
+        raise SystemExit("error: no comparable points")
+
+    geomean = math.exp(log_sum / n)
+    overhead = 1.0 - geomean
+    print(f"geomean ratio over {n} points: {geomean:.4f} "
+          f"(overhead {overhead * 100:+.2f}%, tolerance "
+          f"{args.tolerance * 100:.1f}%)")
+    if geomean < 1.0 - args.tolerance:
+        print("FAIL: observability overhead exceeds tolerance")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,8 +1,8 @@
 #!/usr/bin/env python3
-"""Pretty-print a PTO_PROF=json dump.
+"""Pretty-print PTO telemetry dumps: PTO_PROF records and PTO_STATS points.
 
-Reads the profiler's end-of-run JSON record (PTO_PROF=json, optionally
-redirected with PTO_PROF_OUT) and renders, per scope:
+For the profiler's end-of-run JSON record (PTO_PROF=json, optionally
+redirected with PTO_PROF_OUT) it renders, per scope:
 
   * the top-N hot lines: cache line -> region/owner site, conflict-abort
     count, doomed cycles;
@@ -11,8 +11,15 @@ redirected with PTO_PROF_OUT) and renders, per scope:
   * the per-site savings ledger: where the PTO speedup came from, by latency
     class, plus the costs paid (tx overhead, retry waste).
 
-Input may be a bare JSON object or a mixed log; every line is scanned and the
-last {"type":"pto_prof", ...} record wins.
+For PTO_STATS=json bench_point records (schema v2) it renders:
+
+  * a throughput/latency table with the PTO_OBS percentile columns
+    (p50/p90/p99/p999/max, nanoseconds) per measured point;
+  * the per-cause abort breakdown (prefix_aborts buckets) with attempt,
+    commit, and fallback totals.
+
+Input may be a bare JSON object or a mixed log; every line is scanned. The
+last pto_prof record wins; every bench_point record is shown.
 
 Usage:
   pto_report.py [FILE] [--topn 10]          # FILE defaults to stdin
@@ -20,6 +27,7 @@ Usage:
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -43,6 +51,22 @@ def find_record(text):
         if isinstance(doc, dict) and doc.get("type") == "pto_prof":
             rec = doc
     return rec
+
+
+def find_bench_points(text):
+    """Return every bench_point record in `text`, in input order."""
+    points = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line.startswith("{"):
+            continue
+        try:
+            doc = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(doc, dict) and doc.get("type") == "bench_point":
+            points.append(doc)
+    return points
 
 
 def table(rows, headers, align_left):
@@ -128,6 +152,50 @@ def print_ledger(scope):
               "class savings undefined)")
 
 
+ABORT_BUCKETS = ["conflict", "capacity", "explicit", "duration", "spurious",
+                 "other"]
+
+
+def print_bench_latency(points):
+    print("bench points (latency, ns; samples from PTO_OBS histograms):")
+    rows = []
+    for p in points:
+        lat = p.get("latency", {})
+        rows.append((
+            p.get("bench", "?"), p.get("series", "?"), p.get("threads", 0),
+            f"{p.get('ops_per_ms', 0):.1f}", lat.get("samples", 0),
+            lat.get("p50_ns", 0), lat.get("p90_ns", 0), lat.get("p99_ns", 0),
+            lat.get("p999_ns", 0), lat.get("max_ns", 0),
+        ))
+    txt = table(rows, ["bench", "series", "threads", "ops/ms", "samples",
+                       "p50", "p90", "p99", "p999", "max"],
+                [True, True] + [False] * 8)
+    print("  " + txt.replace("\n", "\n  "))
+
+
+def print_bench_aborts(points):
+    print("abort breakdown (prefix attempts, by decoded cause):")
+    rows = []
+    for p in points:
+        ab = p.get("prefix_aborts", {})
+        rows.append((
+            p.get("bench", "?"), p.get("series", "?"), p.get("threads", 0),
+            p.get("prefix_attempts", 0), p.get("prefix_commits", 0),
+            p.get("prefix_fallbacks", 0),
+        ) + tuple(ab.get(b, 0) for b in ABORT_BUCKETS))
+    txt = table(rows, ["bench", "series", "threads", "attempts", "commits",
+                       "fallbacks"] + ABORT_BUCKETS,
+                [True, True] + [False] * 10)
+    print("  " + txt.replace("\n", "\n  "))
+
+
+def print_bench_points(points):
+    print_bench_latency(points)
+    print()
+    print_bench_aborts(points)
+    print()
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("file", nargs="?", help="PTO_PROF=json dump (default stdin)")
@@ -142,9 +210,15 @@ def main():
         text = sys.stdin.read()
 
     rec = find_record(text)
+    points = find_bench_points(text)
+    if rec is None and not points:
+        raise SystemExit("no pto_prof or bench_point records found in input "
+                         "(run with PTO_PROF=json and/or PTO_STATS=json)")
+
+    if points:
+        print_bench_points(points)
     if rec is None:
-        raise SystemExit("no pto_prof record found in input "
-                         "(run with PTO_PROF=json)")
+        return 0
 
     for scope in rec.get("scopes", []):
         empty = (not scope.get("sites") and not scope.get("matrix")
@@ -162,4 +236,9 @@ def main():
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream pager/head closed early; not an error worth a traceback.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)

@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Golden-output test for pto_report.py's bench_point rendering.
+
+Runs the report over tools/report_fixtures/bench_points.json and diffs the
+output against bench_points.golden.txt byte for byte, so table layout and
+column selection are pinned. Registered as a ctest (`report_golden`); rerun
+with a refreshed golden after an intentional format change:
+
+  python3 tools/pto_report.py tools/report_fixtures/bench_points.json \\
+      > tools/report_fixtures/bench_points.golden.txt
+"""
+
+import difflib
+import pathlib
+import subprocess
+import sys
+
+HERE = pathlib.Path(__file__).resolve().parent
+FIXTURE = HERE / "report_fixtures" / "bench_points.json"
+GOLDEN = HERE / "report_fixtures" / "bench_points.golden.txt"
+
+
+def main():
+    got = subprocess.run(
+        [sys.executable, str(HERE / "pto_report.py"), str(FIXTURE)],
+        capture_output=True, text=True, check=True).stdout
+    want = GOLDEN.read_text(encoding="utf-8")
+    if got == want:
+        print("report_golden: OK")
+        return 0
+    sys.stdout.writelines(difflib.unified_diff(
+        want.splitlines(keepends=True), got.splitlines(keepends=True),
+        fromfile=str(GOLDEN), tofile="pto_report.py output"))
+    print("report_golden: FAIL (see diff; refresh the golden if intended)")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
