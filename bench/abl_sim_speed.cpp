@@ -1,6 +1,6 @@
 // Simulator self-benchmark: host wall-clock throughput of the simx hot path
 // (instrumented accesses -> charge/yield -> line table -> fiber switches) at
-// 1/8/32/64 virtual threads. This measures the *simulator*, not a simulated
+// 1/8/32/64/256/1024 virtual threads. This measures the *simulator*, not a simulated
 // data structure: every figure and ablation in the repo executes through this
 // path, so host ops/sec here bounds how many scenarios, thread counts, and
 // trials a sweep can explore.
@@ -112,7 +112,10 @@ int main() {
   const std::uint64_t total_ops = env_u64("PTO_SIM_SPEED_OPS", 1'000'000);
   const unsigned reps =
       static_cast<unsigned>(env_u64("PTO_SIM_SPEED_REPS", 3));
-  const unsigned counts[] = {1, 8, 32, 64};
+  // 256 and 1024 exercise the multi-word ThreadSet path and the widened
+  // dispatcher; the shared-count prefix {1, 8, 32, 64} is what the perf gate
+  // compares against historical baselines.
+  const unsigned counts[] = {1, 8, 32, 64, 256, 1024};
 
   std::vector<Point> points;
   std::printf("abl_sim_speed: simx host throughput (%llu ops/point, best of %u)\n",

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <set>
 #include <string>
 
@@ -38,11 +39,44 @@ RunnerOptions RunnerOptions::from_env() {
   o.trials = static_cast<unsigned>(env_u64("PTO_BENCH_TRIALS", o.trials));
   o.max_threads =
       static_cast<unsigned>(env_u64("PTO_BENCH_MAXT", o.max_threads));
+  if (o.max_threads > kMaxThreads) {
+    // Passing the clamped value on to sim::run would throw mid-sweep; clamp
+    // here with a warning so a fat-fingered sweep still produces data.
+    std::fprintf(stderr,
+                 "[pto] warning: PTO_BENCH_MAXT=%u exceeds the simulator "
+                 "limit of %u virtual threads; clamping to %u\n",
+                 o.max_threads, kMaxThreads, kMaxThreads);
+    o.max_threads = kMaxThreads;
+  }
+  if (const char* v = std::getenv("PTO_BENCH_SWEEP");
+      v != nullptr && *v != '\0') {
+    if (std::strcmp(v, "geom") == 0) {
+      o.geometric_sweep = true;
+    } else if (std::strcmp(v, "dense") != 0) {
+      static bool warned = false;
+      if (!warned) {
+        warned = true;
+        std::fprintf(stderr,
+                     "[pto] warning: ignoring invalid PTO_BENCH_SWEEP='%s' "
+                     "(want dense|geom); using dense\n",
+                     v);
+      }
+    }
+  }
   return o;
 }
 
 std::vector<int> sweep_threads(const RunnerOptions& opts) {
   std::vector<int> xs;
+  if (opts.geometric_sweep) {
+    for (unsigned t = 1; t <= opts.max_threads; t *= 2) {
+      xs.push_back(static_cast<int>(t));
+    }
+    if (xs.empty() || xs.back() != static_cast<int>(opts.max_threads)) {
+      xs.push_back(static_cast<int>(opts.max_threads));
+    }
+    return xs;
+  }
   for (unsigned t = 1; t <= opts.max_threads; ++t) xs.push_back(static_cast<int>(t));
   return xs;
 }

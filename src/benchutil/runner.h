@@ -4,7 +4,12 @@
 //   PTO_BENCH_OPS    operations per virtual thread per trial (default 6000)
 //   PTO_BENCH_TRIALS trials averaged per point (default 3; the sim is
 //                    deterministic, so only the seeds differ between trials)
-//   PTO_BENCH_MAXT   maximum thread count in sweeps (default 8)
+//   PTO_BENCH_MAXT   maximum thread count in sweeps (default 8, capped at
+//                    the simulator limit of 1024 virtual threads)
+//   PTO_BENCH_SWEEP  sweep density: "dense" (every count 1..MAXT, default)
+//                    or "geom" (1, 2, 4, ... doubling, plus MAXT) — the only
+//                    practical shape for MAXT in the hundreds, where a dense
+//                    sweep is MAXT simulations per series
 //
 // With PTO_STATS=json|csv each measured point additionally emits a
 // structured record (telemetry/emit.h) carrying the full abort/fallback
@@ -23,13 +28,15 @@ struct RunnerOptions {
   std::uint64_t ops_per_thread = 6'000;
   unsigned trials = 3;  // deterministic sim: seeds differ, variance is tiny
   unsigned max_threads = 8;
+  bool geometric_sweep = false;  // PTO_BENCH_SWEEP=geom
   std::uint64_t base_seed = 42;
 
   /// Apply PTO_BENCH_* environment overrides.
   static RunnerOptions from_env();
 };
 
-/// Thread counts 1..max_threads.
+/// Thread counts for a sweep: 1..max_threads dense, or doubling
+/// (1, 2, 4, ..., plus max_threads itself) when geometric_sweep is set.
 std::vector<int> sweep_threads(const RunnerOptions& opts);
 
 /// One measured point: run `body(tid, ops)` on `threads` virtual threads for

@@ -34,12 +34,13 @@ constexpr unsigned kDefaultMaxFindings = 100;
 /// *only* capacity-aborts can never fit the HTM).
 constexpr std::uint64_t kCapacityAbortThreshold = 8;
 
-std::uint64_t bit(unsigned tid) { return std::uint64_t{1} << (tid & 63); }
-
-/// Vector clock over virtual threads. Joins loop over the run's thread count
-/// only; storage is fixed so shadow entries never reallocate clocks.
+/// Vector clock over virtual threads, sized to the run's thread count when
+/// the run begins (on_run_begin / ensure_sync). A fixed kMaxThreads-wide
+/// array would be 8 KB per clock at kMaxThreads = 1024, and a clock is
+/// allocated per release-history shadow entry — dynamic sizing keeps the
+/// checker's footprint proportional to the threads actually running.
 struct VClock {
-  std::uint64_t c[kMaxThreads] = {};
+  std::vector<std::uint64_t> c;
 };
 
 struct SpanRef {
@@ -79,9 +80,31 @@ struct LastWrite {
 struct VarState {
   LastWrite w;
   std::vector<ReadEntry> reads;    ///< plain reads, one slot per thread
-  std::unique_ptr<VClock> sync;    ///< release history of this location
-  std::uint64_t pending_mask = 0;  ///< threads with an undrained plain write
+  std::unique_ptr<VClock> sync;  ///< release history of this location
+  /// Threads with an undrained plain write, one bit per thread (word-array
+  /// so tids past 64 don't alias — a single uint64_t indexed by tid & 63
+  /// would report missed store-buffer drains as false races).
+  std::vector<std::uint64_t> pending_w;
 };
+
+bool pending_test(const VarState& vs, unsigned tid) {
+  const unsigned w = tid >> 6;
+  return w < vs.pending_w.size() &&
+         ((vs.pending_w[w] >> (tid & 63)) & 1) != 0;
+}
+
+void pending_set(VarState& vs, unsigned tid) {
+  const unsigned w = tid >> 6;
+  if (w >= vs.pending_w.size()) vs.pending_w.resize(w + 1, 0);
+  vs.pending_w[w] |= std::uint64_t{1} << (tid & 63);
+}
+
+void pending_clear(VarState& vs, unsigned tid) {
+  const unsigned w = tid >> 6;
+  if (w < vs.pending_w.size()) {
+    vs.pending_w[w] &= ~(std::uint64_t{1} << (tid & 63));
+  }
+}
 
 struct ThreadState {
   VClock vc;
@@ -232,17 +255,18 @@ void add_finding(CheckState& S, FindingKind kind, std::uintptr_t addr,
 
 VarState& var_of(CheckState& S, std::uintptr_t a) { return S.shadow[a]; }
 
-void ensure_sync(VarState& vs) {
+void ensure_sync(CheckState& S, VarState& vs) {
   if (!vs.sync) vs.sync = std::make_unique<VClock>();
+  if (vs.sync->c.size() < S.nthreads) vs.sync->c.resize(S.nthreads, 0);
 }
 
 /// Fence semantics of the modeled machine: the thread's plainly-written
 /// locations become acquirable (store-buffer drain).
 void drain_pending(CheckState& S, ThreadState& t, unsigned tid) {
   for (VarState* vs : t.pending) {
-    ensure_sync(*vs);
+    ensure_sync(S, *vs);
     vc_join(*vs->sync, t.vc, S.nthreads);
-    vs->pending_mask &= ~bit(tid);
+    pending_clear(*vs, tid);
   }
   t.pending.clear();
 }
@@ -360,10 +384,13 @@ void on_run_begin(unsigned nthreads) {
   // per-thread pointers into it first.
   for (auto& t : S.threads) t.clear();
   S.shadow.clear();
-  S.fence_vc = VClock{};
+  S.fence_vc.c.assign(nthreads, 0);
   // Fork point: epochs start at 1 so a first-access epoch is never
   // vacuously happened-before a fresh observer clock.
-  for (unsigned i = 0; i < nthreads; ++i) S.threads[i].vc.c[i] = 1;
+  for (unsigned i = 0; i < nthreads; ++i) {
+    S.threads[i].vc.c.assign(nthreads, 0);
+    S.threads[i].vc.c[i] = 1;
+  }
 }
 
 void on_run_end() { state().active = false; }
@@ -428,7 +455,7 @@ void on_store(unsigned tid, void* addr, unsigned size, std::uint64_t value,
     // Theorem 2 as an HB rule: an in-tx write is ordered against every
     // conflicting access by the HTM (conflicts doom one side), so it is a
     // release+acquire on the location whatever its nominal order.
-    ensure_sync(vs);
+    ensure_sync(S, vs);
     vc_join(t.vc, *vs.sync, S.nthreads);
     vc_join(*vs.sync, t.vc, S.nthreads);
     vs.w = LastWrite{t.vc.c[tid], tid, false, span.site, span.fallback};
@@ -450,15 +477,15 @@ void on_store(unsigned tid, void* addr, unsigned size, std::uint64_t value,
       }
     }
     vs.w = LastWrite{t.vc.c[tid], tid, true, span.site, span.fallback};
-    if (!(vs.pending_mask & bit(tid))) {
-      vs.pending_mask |= bit(tid);
+    if (!pending_test(vs, tid)) {
+      pending_set(vs, tid);
       t.pending.push_back(&vs);
     }
   } else {
     // Ordered store: releases this location immediately (release/seq_cst;
     // the fence half of a seq_cst store additionally drains via on_fence).
     ++S.st.sync_ops;
-    ensure_sync(vs);
+    ensure_sync(S, vs);
     vc_join(*vs.sync, t.vc, S.nthreads);
     vs.w = LastWrite{t.vc.c[tid], tid, false, span.site, span.fallback};
     ++t.vc.c[tid];
@@ -485,7 +512,7 @@ void on_rmw(unsigned tid, void* addr, unsigned size, std::uint64_t observed,
       t.tx_overflow = true;
       ++S.st.tx_log_overflows;
     }
-    ensure_sync(vs);
+    ensure_sync(S, vs);
     vc_join(t.vc, *vs.sync, S.nthreads);
     if (wrote) {
       vc_join(*vs.sync, t.vc, S.nthreads);
@@ -499,7 +526,7 @@ void on_rmw(unsigned tid, void* addr, unsigned size, std::uint64_t observed,
   // location.
   ++S.st.sync_ops;
   drain_pending(S, t, tid);
-  ensure_sync(vs);
+  ensure_sync(S, vs);
   vc_join(t.vc, *vs.sync, S.nthreads);
   if (wrote) {
     vc_join(*vs.sync, t.vc, S.nthreads);

@@ -13,9 +13,13 @@ namespace pto {
 inline constexpr std::size_t kCacheLine = 64;
 
 /// Maximum number of threads (native) or virtual threads (simulator) that may
-/// concurrently use a single data-structure instance. Bitmask-based conflict
-/// tracking in the simulator requires this to be <= 64.
-inline constexpr unsigned kMaxThreads = 64;
+/// concurrently use a single data-structure instance. The simulator's per-line
+/// conflict tracking uses fixed-capacity ThreadSet bitsets (common/threadset.h)
+/// of this many bits; the packed dispatcher keys reserve 10 bits for the tid.
+inline constexpr unsigned kMaxThreads = 1024;
+
+/// 64-bit words in a kMaxThreads-wide ThreadSet.
+inline constexpr unsigned kThreadWords = (kMaxThreads + 63) / 64;
 
 #if defined(__GNUC__) || defined(__clang__)
 #define PTO_LIKELY(x) __builtin_expect(!!(x), 1)

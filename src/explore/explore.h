@@ -81,12 +81,14 @@ struct Options {
 
 /// One recorded scheduling decision: `step` is the index of the decision
 /// point (every preemption point increments it), `tid` the chosen thread.
+/// The tid field is 16 bits so thread ids up to kMaxThreads (1024) fit with
+/// headroom; steps use the remaining 48 bits.
 constexpr std::uint64_t pack_decision(std::uint64_t step, unsigned tid) {
-  return (step << 8) | tid;
+  return (step << 16) | tid;
 }
-constexpr std::uint64_t decision_step(std::uint64_t d) { return d >> 8; }
+constexpr std::uint64_t decision_step(std::uint64_t d) { return d >> 16; }
 constexpr unsigned decision_tid(std::uint64_t d) {
-  return static_cast<unsigned>(d & 0xFF);
+  return static_cast<unsigned>(d & 0xFFFF);
 }
 
 /// Parse a PTO_SCHED value into `o` (policy/seed/d/k/replay_path only).

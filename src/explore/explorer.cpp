@@ -10,11 +10,13 @@ namespace pto::explore::internal {
 
 Explorer::Explorer(const Options& opts, unsigned nthreads) : opts_(opts) {
   rng_.reseed(opts_.seed * 0x9E3779B97F4A7C15ull + 0xE5CAFEull);
+  nwords_ = (nthreads + 63) / 64;
+  prio_.assign(nthreads, 0);
   if (opts_.policy == Policy::kPCT) {
     // Initial priorities: a random permutation of [d+1, d+n], so every
     // change-point priority d-i (i < d) sits strictly below all of them.
     const auto d = static_cast<std::int64_t>(opts_.change_points);
-    std::int64_t perm[64];
+    std::vector<std::int64_t> perm(nthreads);
     for (unsigned i = 0; i < nthreads; ++i) perm[i] = d + 1 + i;
     for (unsigned i = nthreads; i > 1; --i) {
       auto j = static_cast<unsigned>(rng_.next_below(i));
@@ -39,7 +41,8 @@ Explorer::Explorer(const Options& opts, unsigned nthreads) : opts_(opts) {
         if (line[0] == '#' || line[0] == '\n') continue;
         unsigned long long step = 0;
         unsigned tid = 0;
-        if (std::sscanf(line, "%llu %u", &step, &tid) == 2 && tid < 64) {
+        if (std::sscanf(line, "%llu %u", &step, &tid) == 2 &&
+            tid < kMaxThreads) {
           replay_.push_back(pack_decision(step, tid));
         }
       }
@@ -63,18 +66,15 @@ Explorer::~Explorer() {
   if (dump_ != nullptr) std::fclose(dump_);
 }
 
-unsigned Explorer::lowest(std::uint64_t mask) {
-  return static_cast<unsigned>(__builtin_ctzll(mask));
+unsigned Explorer::lowest(const ThreadSet& mask) const {
+  return mask.first(nwords_);
 }
 
-unsigned Explorer::max_priority(std::uint64_t mask) const {
-  unsigned best = lowest(mask);
-  std::uint64_t m = mask & (mask - 1);
-  while (m != 0) {
-    unsigned t = lowest(m);
-    m &= m - 1;
-    if (prio_[t] > prio_[best]) best = t;
-  }
+unsigned Explorer::max_priority(const ThreadSet& mask) const {
+  unsigned best = kMaxThreads;
+  mask.for_each(nwords_, [&](unsigned t) {
+    if (best == kMaxThreads || prio_[t] > prio_[best]) best = t;
+  });
   return best;
 }
 
@@ -91,8 +91,8 @@ void Explorer::record(unsigned tid) {
   }
 }
 
-unsigned Explorer::choose(unsigned incumbent, std::uint64_t mask) {
-  assert(mask != 0);
+unsigned Explorer::choose(unsigned incumbent, const ThreadSet& mask) {
+  assert(!mask.empty(nwords_));
   switch (opts_.policy) {
     case Policy::kPCT: {
       // Apply any change points due at this step to the incumbent (when
@@ -109,11 +109,13 @@ unsigned Explorer::choose(unsigned incumbent, std::uint64_t mask) {
       return max_priority(mask);
     }
     case Policy::kRandom: {
-      auto n = static_cast<unsigned>(__builtin_popcountll(mask));
+      unsigned n = mask.popcount(nwords_);
       auto k = static_cast<unsigned>(rng_.next_below(n));
-      std::uint64_t m = mask;
-      while (k-- > 0) m &= m - 1;
-      return lowest(m);
+      unsigned picked = kMaxThreads;
+      mask.for_each(nwords_, [&](unsigned t) {
+        if (k-- == 0) picked = t;
+      });
+      return picked;
     }
     case Policy::kReplay: {
       while (replay_idx_ < replay_.size() &&
@@ -124,7 +126,7 @@ unsigned Explorer::choose(unsigned incumbent, std::uint64_t mask) {
           decision_step(replay_[replay_idx_]) == step_) {
         unsigned t = decision_tid(replay_[replay_idx_]);
         ++replay_idx_;
-        if (mask & (std::uint64_t{1} << t)) return t;
+        if (t < kMaxThreads && mask.test(t)) return t;
       }
       // No entry for this step: stay on the incumbent; on a finish
       // decision fall back to the lowest-index runnable thread.
@@ -137,14 +139,14 @@ unsigned Explorer::choose(unsigned incumbent, std::uint64_t mask) {
   return incumbent != kMaxThreads ? incumbent : lowest(mask);
 }
 
-unsigned Explorer::pick(unsigned cur, std::uint64_t mask) {
+unsigned Explorer::pick(unsigned cur, const ThreadSet& mask) {
   ++step_;
   unsigned next = choose(cur, mask);
   if (next != cur) record(next);
   return next;
 }
 
-unsigned Explorer::pick_first(std::uint64_t mask) {
+unsigned Explorer::pick_first(const ThreadSet& mask) {
   ++step_;
   unsigned next = choose(kMaxThreads, mask);
   record(next);

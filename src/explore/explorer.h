@@ -17,7 +17,9 @@
 #include <cstdio>
 #include <vector>
 
+#include "common/defs.h"
 #include "common/rng.h"
+#include "common/threadset.h"
 #include "explore/explore.h"
 
 namespace pto::explore::internal {
@@ -30,13 +32,13 @@ class Explorer {
   Explorer& operator=(const Explorer&) = delete;
 
   /// Decision at a preemption point: `cur` is running and runnable, `mask`
-  /// is the runnable-thread bitmask (cur's bit set). Returns the thread to
+  /// is the runnable-thread set (cur is a member). Returns the thread to
   /// run next (== cur: no preemption).
-  unsigned pick(unsigned cur, std::uint64_t mask);
+  unsigned pick(unsigned cur, const ThreadSet& mask);
 
   /// Decision at the initial dispatch or after a thread finished: no
-  /// incumbent; `mask` is nonzero.
-  unsigned pick_first(std::uint64_t mask);
+  /// incumbent; `mask` is nonempty.
+  unsigned pick_first(const ThreadSet& mask);
 
   /// The running thread executed a backoff pause. Under PCT a strict-
   /// priority spinner would otherwise monopolize the schedule (livelock on
@@ -47,18 +49,20 @@ class Explorer {
   const std::vector<std::uint64_t>& decisions() const { return decisions_; }
 
  private:
-  unsigned choose(unsigned incumbent, std::uint64_t mask);
+  unsigned choose(unsigned incumbent, const ThreadSet& mask);
   void record(unsigned tid);
-  static unsigned lowest(std::uint64_t mask);
-  unsigned max_priority(std::uint64_t mask) const;
+  unsigned lowest(const ThreadSet& mask) const;
+  unsigned max_priority(const ThreadSet& mask) const;
 
   Options opts_;
   SplitMix64 rng_;
+  /// ThreadSet words covering this run's thread count (single word <= 64).
+  unsigned nwords_ = 1;
   std::uint64_t step_ = 0;
 
   // PCT state: strict distinct priorities (higher runs); change point i
   // re-assigns the incumbent priority d-i, below every initial priority.
-  std::int64_t prio_[64] = {};
+  std::vector<std::int64_t> prio_;
   std::vector<std::uint64_t> change_steps_;  ///< sorted, next at change_idx_
   std::size_t change_idx_ = 0;
   std::int64_t pause_floor_ = 0;  ///< descends below all other priorities

@@ -14,6 +14,7 @@
 // the current epoch.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <vector>
@@ -44,6 +45,13 @@ class EpochDomain {
       if (slots_[i].claimed.load(std::memory_order_relaxed) == 0 &&
           slots_[i].claimed.compare_exchange_strong(expect, 1)) {
         slots_[i].res.store(kQuiescent, std::memory_order_relaxed);
+        // Track the highest slot ever claimed on a *host* atomic (never
+        // charged by the simulator) so reservation scans can stop early.
+        unsigned hwm = slot_hwm_.load(std::memory_order_relaxed);
+        while (hwm < i + 1 &&
+               !slot_hwm_.compare_exchange_weak(hwm, i + 1,
+                                                std::memory_order_relaxed)) {
+        }
         return Handle(this, i);
       }
     }
@@ -201,14 +209,27 @@ class EpochDomain {
  private:
   static constexpr std::uint64_t kQuiescent = ~std::uint64_t{0};
   static constexpr std::size_t kReclaimBatch = 64;
+  /// Minimum scan width: 64, the pre-scale-out kMaxThreads, pinned as a
+  /// literal so golden simulated cycles at <= 64 threads stay byte-identical.
+  static constexpr unsigned kScanFloor = 64;
 
   template <class T>
   static void deleter(void* q, void*) {
     P::template destroy<T>(static_cast<T*>(q));
   }
 
+  /// Slots the reservation scan must cover. Floored at kScanFloor (the old
+  /// kMaxThreads) so runs of <= 64 threads charge exactly the same loads as
+  /// before the 1024-thread scale-out; past that, only the claimed
+  /// high-water mark — not all 1024 slots — is scanned.
+  unsigned scan_bound() const {
+    unsigned hwm = slot_hwm_.load(std::memory_order_relaxed);
+    return hwm > kScanFloor ? hwm : kScanFloor;
+  }
+
   bool all_reservations_at(std::uint64_t g) {
-    for (unsigned i = 0; i < kMaxThreads; ++i) {
+    const unsigned n = scan_bound();
+    for (unsigned i = 0; i < n; ++i) {
       if (slots_[i].claimed.load(std::memory_order_acquire) == 0) continue;
       std::uint64_t r = slots_[i].res.load(std::memory_order_acquire);
       if (r != kQuiescent && r != g) return false;
@@ -224,6 +245,8 @@ class EpochDomain {
 
   Atom<P, std::uint64_t> global_epoch_;
   Slot slots_[kMaxThreads];
+  /// Highest claimed slot index + 1, monotonic; host atomic (uncharged).
+  std::atomic<unsigned> slot_hwm_{0};
   std::mutex orphan_mu_;
   std::vector<typename Handle::Retired> orphans_;
 };

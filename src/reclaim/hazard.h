@@ -17,6 +17,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -45,6 +46,13 @@ class HazardDomain {
       if (rows_[i].claimed.load(std::memory_order_relaxed) == 0 &&
           rows_[i].claimed.compare_exchange_strong(expect, 1)) {
         for (auto& s : rows_[i].hp) s.store(0, std::memory_order_relaxed);
+        // Host-atomic (uncharged) high-water mark so hazard scans can stop
+        // at the claimed prefix instead of walking all kMaxThreads rows.
+        unsigned hwm = row_hwm_.load(std::memory_order_relaxed);
+        while (hwm < i + 1 &&
+               !row_hwm_.compare_exchange_weak(hwm, i + 1,
+                                               std::memory_order_relaxed)) {
+        }
         return Handle(this, i);
       }
     }
@@ -110,9 +118,10 @@ class HazardDomain {
 
     /// Michael's scan: free every retired node no thread currently hazards.
     void scan_and_reclaim() {
+      const unsigned n = dom_->scan_bound();
       std::vector<std::uintptr_t> hazards;
-      hazards.reserve(kMaxThreads * SlotsPerThread);
-      for (unsigned t = 0; t < kMaxThreads; ++t) {
+      hazards.reserve(n * SlotsPerThread);
+      for (unsigned t = 0; t < n; ++t) {
         if (dom_->rows_[t].claimed.load(std::memory_order_acquire) == 0) {
           continue;
         }
@@ -152,7 +161,19 @@ class HazardDomain {
   };
 
  private:
-  static constexpr std::size_t kScanThreshold = 2 * kMaxThreads;
+  /// Minimum scan width: 64, the pre-scale-out kMaxThreads. Pinned literals
+  /// (not kMaxThreads, now 1024) so runs of <= 64 threads keep the exact
+  /// pre-refactor scan charges and retire cadence — golden cycles depend on
+  /// both.
+  static constexpr unsigned kScanFloor = 64;
+  static constexpr std::size_t kScanThreshold = 2 * kScanFloor;
+
+  /// Rows a scan must cover: the claimed high-water mark, floored at
+  /// kScanFloor for <= 64-thread charge identity.
+  unsigned scan_bound() const {
+    unsigned hwm = row_hwm_.load(std::memory_order_relaxed);
+    return hwm > kScanFloor ? hwm : kScanFloor;
+  }
 
   template <class T>
   static void deleter(void* q) {
@@ -165,6 +186,8 @@ class HazardDomain {
   };
 
   Row rows_[kMaxThreads];
+  /// Highest claimed row index + 1, monotonic; host atomic (uncharged).
+  std::atomic<unsigned> row_hwm_{0};
   std::vector<typename Handle::Retired> orphans_;
 };
 

@@ -68,6 +68,11 @@ void Runtime::do_dealloc(void* p, std::size_t bytes) {
   auto first = reinterpret_cast<std::uintptr_t>(p) / kCacheLine;
   auto last = (reinterpret_cast<std::uintptr_t>(p) + (bytes ? bytes - 1 : 0)) /
               kCacheLine;
+  // One doom batch for the whole free: a multi-line free that dooms k
+  // transactions repairs the dispatch heap once, not k times. A victim
+  // doomed on an early line has its reader/writer registrations on later
+  // lines already released, so no victim is visited twice.
+  begin_doom_batch();
   for (auto la = first; la <= last; ++la) {
     LineState& L = g_mem.lines.line_by_index(la);
     // Freeing is a write: any transaction still holding the line is the
@@ -75,15 +80,13 @@ void Runtime::do_dealloc(void* p, std::size_t bytes) {
     if (L.tx_writer != kNobody && L.tx_writer != cur) {
       doom(L.tx_writer, TX_ABORT_CONFLICT, la);
     }
-    std::uint64_t victims = L.tx_readers & ~bit(cur);
-    while (victims != 0) {
-      unsigned v = static_cast<unsigned>(__builtin_ctzll(victims));
-      victims &= victims - 1;
+    L.tx_readers.for_each_other(cur, nwords, [&](unsigned v) {
       doom(v, TX_ABORT_CONFLICT, la);
-    }
+    });
     L.freed = true;
-    L.sharers = bit(cur);
+    L.sharers.assign_single(cur, nwords);
   }
+  end_doom_batch();
   if (cfg.trap_use_after_free) std::memset(p, 0xDD, bytes);
   if (PTO_UNLIKELY(prof::on())) {
     prof::on_charge(prof::kClassAlloc, cfg.cost.dealloc);

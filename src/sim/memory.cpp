@@ -74,15 +74,15 @@ std::uintptr_t line_addr(const void* addr) {
   return reinterpret_cast<std::uintptr_t>(addr) / kCacheLine;
 }
 
-/// Doom every transactional reader of L other than `self`.
+/// Doom every transactional reader of L other than `self`. Each word of the
+/// reader set is snapshotted before its victims are doomed (for_each_other),
+/// matching the old snapshot-then-ctzll loop: dooming a victim clears only
+/// that victim's own bits, so later words are never perturbed mid-scan.
 void doom_other_readers(Runtime& rt, LineState& L, unsigned self,
                         std::uintptr_t la) {
-  std::uint64_t victims = L.tx_readers & ~bit(self);
-  while (victims != 0) {
-    unsigned v = static_cast<unsigned>(__builtin_ctzll(victims));
-    victims &= victims - 1;
+  L.tx_readers.for_each_other(self, rt.nwords, [&](unsigned v) {
     rt.doom(v, TX_ABORT_CONFLICT, la);
-  }
+  });
 }
 
 void doom_other_writer(Runtime& rt, LineState& L, unsigned self,
@@ -97,11 +97,11 @@ void doom_other_writer(Runtime& rt, LineState& L, unsigned self,
 /// (the HtmConfig limit, jittered down under HTM fault injection).
 void tx_track_read(Runtime& rt, LineState& L) {
   VThread& t = rt.me();
-  if (L.tx_readers & bit(rt.cur)) return;
+  if (L.tx_readers.test(rt.cur)) return;
   if (t.tx.rlines.size() >= t.tx.rcap) {
     rt.self_abort(TX_ABORT_CAPACITY, TX_CODE_NONE);
   }
-  L.tx_readers |= bit(rt.cur);
+  L.tx_readers.set(rt.cur);
   t.tx.rlines.push_back(&L);
 }
 
@@ -125,9 +125,9 @@ std::uint64_t Runtime::do_load(const void* addr, unsigned size,
   if (PTO_UNLIKELY(L.freed)) ++g_mem.uaf_count;
   std::uintptr_t la = line_addr(addr);
   std::uint64_t cost = cfg.cost.load_hit;
-  if (!(L.sharers & bit(cur))) {
+  if (!L.sharers.test(cur)) {
     cost += cfg.cost.coherence_miss;
-    L.sharers |= bit(cur);
+    L.sharers.set(cur);
     if (PTO_UNLIKELY(telemetry::trace_on())) {
       telemetry::trace_miss(cur, t.clock, la);
     }
@@ -160,22 +160,26 @@ void Runtime::do_store(void* addr, unsigned size, std::uint64_t val,
   if (PTO_UNLIKELY(L.freed)) ++g_mem.uaf_count;
   std::uintptr_t la = line_addr(addr);
   std::uint64_t cost = cfg.cost.store_hit;
-  if (L.sharers & ~bit(cur)) {
+  if (L.sharers.any_other(cur, nwords)) {
     cost += cfg.cost.coherence_miss;
     if (PTO_UNLIKELY(telemetry::trace_on())) {
       telemetry::trace_miss(cur, t.clock, la);
     }
   }
-  L.sharers = bit(cur);
+  L.sharers.assign_single(cur, nwords);
   if (t.tx.active) {
     tx_access_checks();
+    begin_doom_batch();
     doom_other_writer(*this, L, cur, la);
     doom_other_readers(*this, L, cur, la);
+    end_doom_batch();
     tx_track_write(*this, L);
     t.tx.undo.push_back({addr, size, raw_read(addr, size)});
   } else {
+    begin_doom_batch();
     doom_other_writer(*this, L, cur, la);
     doom_other_readers(*this, L, cur, la);
+    end_doom_batch();
   }
   ++t.stats.stores;
   raw_write(addr, size, val);
@@ -205,7 +209,9 @@ bool Runtime::do_cas(void* addr, unsigned size, std::uint64_t& expected,
     std::uint64_t curv = raw_read(addr, size);
     ok = (curv == expected);
     if (ok) {
+      begin_doom_batch();
       doom_other_readers(*this, L, cur, la);
+      end_doom_batch();
       tx_track_write(*this, L);
       t.tx.undo.push_back({addr, size, curv});
       raw_write(addr, size, desired);
@@ -217,25 +223,27 @@ bool Runtime::do_cas(void* addr, unsigned size, std::uint64_t& expected,
     if (PTO_UNLIKELY(prof::on())) {
       prof::on_cas_collapsed(cfg.cost.cas > cost ? cfg.cost.cas - cost : 0);
     }
-    if (!(L.sharers & bit(cur))) {
+    if (!L.sharers.test(cur)) {
       cost += cfg.cost.coherence_miss;
       if (PTO_UNLIKELY(telemetry::trace_on())) {
         telemetry::trace_miss(cur, t.clock, la);
       }
     }
-    L.sharers |= bit(cur);
+    L.sharers.set(cur);
   } else {
     // A CAS takes the line exclusive whether or not it succeeds.
+    begin_doom_batch();
     doom_other_writer(*this, L, cur, la);
     doom_other_readers(*this, L, cur, la);
+    end_doom_batch();
     cost = cfg.cost.cas;
-    if (L.sharers & ~bit(cur)) {
+    if (L.sharers.any_other(cur, nwords)) {
       cost += cfg.cost.coherence_miss;
       if (PTO_UNLIKELY(telemetry::trace_on())) {
         telemetry::trace_miss(cur, t.clock, la);
       }
     }
-    L.sharers = bit(cur);
+    L.sharers.assign_single(cur, nwords);
     std::uint64_t curv = raw_read(addr, size);
     ok = (curv == expected);
     if (ok) {
@@ -266,8 +274,10 @@ std::uint64_t Runtime::do_fetch_add(void* addr, unsigned size,
   std::uint64_t cost;
   if (t.tx.active) {
     tx_access_checks();
+    begin_doom_batch();
     doom_other_writer(*this, L, cur, la);
     doom_other_readers(*this, L, cur, la);
+    end_doom_batch();
     tx_track_read(*this, L);
     tx_track_write(*this, L);
     t.tx.undo.push_back({addr, size, raw_read(addr, size)});
@@ -276,17 +286,19 @@ std::uint64_t Runtime::do_fetch_add(void* addr, unsigned size,
       prof::on_cas_collapsed(cfg.cost.cas > cost ? cfg.cost.cas - cost : 0);
     }
   } else {
+    begin_doom_batch();
     doom_other_writer(*this, L, cur, la);
     doom_other_readers(*this, L, cur, la);
+    end_doom_batch();
     cost = cfg.cost.cas;
   }
-  if (L.sharers & ~bit(cur)) {
+  if (L.sharers.any_other(cur, nwords)) {
     cost += cfg.cost.coherence_miss;
     if (PTO_UNLIKELY(telemetry::trace_on())) {
       telemetry::trace_miss(cur, t.clock, la);
     }
   }
-  L.sharers = bit(cur);
+  L.sharers.assign_single(cur, nwords);
   std::uint64_t old = raw_read(addr, size);
   raw_write(addr, size, old + delta);
   ++t.stats.rmws;

@@ -1,6 +1,8 @@
 // Runtime construction, the public run() entry point, and thin hook wrappers.
 #include "sim/runtime_internal.h"
 
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 
@@ -20,16 +22,23 @@ GlobalMemory g_mem;
 
 Runtime::Runtime(unsigned nthreads, const Config& c)
     : cfg(c), xopts(explore::resolved(c.explore)), threads([&] {
-        // Per-line conflict tracking is a 64-bit mask of thread ids;
-        // bit(tid) silently shifts out of range past 64, so reject early
-        // with a clear message rather than corrupting line state.
+        // Per-line conflict tracking is a kMaxThreads-bit ThreadSet and the
+        // dispatcher packs the tid into 10 key bits, so reject early with a
+        // clear message rather than corrupting line state.
         if (nthreads == 0 || nthreads > kMaxThreads) {
           throw std::invalid_argument(
-              "sim::Runtime: nthreads must be in [1, 64] (per-line thread "
-              "bitmasks are 64 bits wide)");
+              "sim::Runtime: nthreads must be in [1, 1024] (per-line thread "
+              "sets are kMaxThreads = 1024 bits wide)");
         }
         return nthreads;
       }()) {
+  // Lines persist across runs (fixtures built in a setup run stay valid), so
+  // the per-line scan width is the widest any run has needed since the last
+  // reset_memory() — a narrow run after a wide one must still see (and
+  // clear) the high words the wide run populated.
+  const unsigned want_words = (nthreads + 63) / 64;
+  if (want_words > g_mem.line_words) g_mem.line_words = want_words;
+  nwords = g_mem.line_words;
   if (xopts.adversarial()) {
     explorer =
         std::make_unique<explore::internal::Explorer>(xopts, nthreads);
@@ -47,6 +56,26 @@ Runtime::Runtime(unsigned nthreads, const Config& c)
     tx.wlines.reserve(c.htm.max_write_lines);
     tx.undo.reserve(c.htm.max_write_lines);
   }
+}
+
+std::size_t fiber_stack_bytes(unsigned nthreads) {
+  if (const char* v = std::getenv("PTO_SIM_STACK_KB");
+      v != nullptr && *v != '\0') {
+    char* end = nullptr;
+    auto kb = std::strtoull(v, &end, 10);
+    if (end != v && *end == '\0' && kb >= 16) {
+      return static_cast<std::size_t>(kb) * 1024;
+    }
+    static bool warned = false;
+    if (!warned) {
+      warned = true;
+      std::fprintf(stderr,
+                   "[pto] warning: ignoring invalid PTO_SIM_STACK_KB='%s' "
+                   "(want an integer >= 16)\n",
+                   v);
+    }
+  }
+  return nthreads <= kFiberStackSmallCutoff ? kFiberStack : kFiberStackLarge;
 }
 
 }  // namespace internal
@@ -105,11 +134,13 @@ RunResult run(unsigned nthreads, const Config& cfg,
   }
   g_rt = &rt;
   if (PTO_UNLIKELY(check::on())) check::on_run_begin(nthreads);
+  const std::size_t stack_bytes = fiber_stack_bytes(nthreads);
   for (unsigned i = 0; i < nthreads; ++i) {
-    rt.threads[i].fiber = std::make_unique<Fiber>(kFiberStack, [i, &body, &rt] {
-      body(i);
-      rt.on_fiber_done();  // switches away forever
-    });
+    rt.threads[i].fiber =
+        std::make_unique<Fiber>(stack_bytes, [i, &body, &rt] {
+          body(i);
+          rt.on_fiber_done();  // switches away forever
+        });
   }
   rt.run_all();
   if (PTO_UNLIKELY(check::on())) check::on_run_end();
@@ -224,7 +255,7 @@ void dealloc(void* p, std::size_t bytes) {
   for (auto la = first; la <= last; ++la) {
     LineState& L = g_mem.lines.line_by_index(la);
     L.freed = true;
-    L.sharers = 0;
+    L.sharers.reset(g_mem.line_words);
   }
   std::memset(p, 0xDD, bytes);
 }
@@ -233,6 +264,7 @@ void reset_memory() {
   assert(g_rt == nullptr && "reset_memory during a simulation");
   g_mem.lines.clear();
   g_mem.arena.reset();
+  g_mem.line_words = 1;
   g_mem.alloc_word = 0;
 }
 

@@ -10,6 +10,7 @@
 
 #include "common/defs.h"
 #include "common/rng.h"
+#include "common/threadset.h"
 #include "explore/explorer.h"
 #include "sim/fiber.h"
 #include "sim/sim.h"
@@ -17,13 +18,18 @@
 namespace pto::sim::internal {
 
 inline constexpr unsigned kNobody = 0xFFFFFFFFu;
+/// Fiber stack size. Runs of <= kFiberStackSmallCutoff threads get the
+/// roomy classic stacks; larger fleets drop to kFiberStackLarge so a
+/// 1024-vthread run costs ~128 MB of stacks, not 512 MB. Overridable with
+/// PTO_SIM_STACK_KB (runtime.cpp).
 inline constexpr std::size_t kFiberStack = 512 * 1024;
-
-inline std::uint64_t bit(unsigned tid) { return std::uint64_t{1} << tid; }
+inline constexpr std::size_t kFiberStackLarge = 128 * 1024;
+inline constexpr unsigned kFiberStackSmallCutoff = 64;
+std::size_t fiber_stack_bytes(unsigned nthreads);
 
 struct LineState {
-  std::uint64_t sharers = 0;       ///< threads with this line "cached"
-  std::uint64_t tx_readers = 0;    ///< txs with this line in their read set
+  ThreadSet sharers;       ///< threads with this line "cached"
+  ThreadSet tx_readers;    ///< txs with this line in their read set
   unsigned tx_writer = kNobody;    ///< at most one tx writer (requester-wins)
   bool freed = false;
 };
@@ -168,6 +174,11 @@ class LineTable {
 struct GlobalMemory {
   LineTable lines;
   Arena arena;
+  /// Active ThreadSet word count: the monotonic max of (nthreads+63)/64 over
+  /// every run since the last reset_memory(). Lines persist across runs, so
+  /// a run after a wide run must keep scanning the high words its
+  /// predecessor may have populated; reset_memory() drops it back to 1.
+  unsigned line_words = 1;
   std::uint64_t uaf_count = 0;
   /// Shared allocator-metadata word: every alloc/free RMWs it through the
   /// normal coherence/conflict machinery, modeling allocator contention (and
@@ -182,11 +193,16 @@ extern GlobalMemory g_mem;
 class Runtime {
  public:
   /// Throws std::invalid_argument for nthreads outside [1, kMaxThreads]:
-  /// the per-line bitmask conflict tracking shifts 1 << tid, which is
-  /// undefined past 64 threads.
+  /// per-line conflict tracking is a kMaxThreads-bit ThreadSet and the
+  /// packed dispatcher key reserves 10 bits for the tid.
   Runtime(unsigned nthreads, const Config& cfg);
 
   Config cfg;
+  /// ThreadSet words every per-line scan covers this run (g_mem.line_words
+  /// at construction: wide enough for this run *and* for any stale bits a
+  /// wider earlier run may have left on persisting lines). 1 for <= 64
+  /// threads, which keeps every mask operation the old single-word sequence.
+  unsigned nwords = 1;
   /// cfg.explore resolved against the environment (explore::resolved).
   explore::Options xopts;
   /// Non-null iff xopts is an adversarial policy (pct/rand/replay); with rr
@@ -203,7 +219,7 @@ class Runtime {
   //
   // Invariant: the running thread `cur` is a clock minimum over runnable
   // threads (ties keep the incumbent running); every other runnable thread
-  // sits in a binary min-heap of (clock << 6 | tid) keys, so the lowest-
+  // sits in a binary min-heap of (clock << 10 | tid) keys, so the lowest-
   // index-on-tie dispatch order of the original scan is preserved by plain
   // integer comparison. `next_min_clock_` caches the heap root's clock, so
   // the per-access yield decision in charge() is a single compare.
@@ -230,6 +246,18 @@ class Runtime {
   /// Re-sift `tid` after its clock increased while suspended (doom penalty)
   /// and refresh the cached yield threshold.
   void on_clock_raised(unsigned tid);
+  /// Doom-storm batching: between begin/end, doom() rewrites each victim's
+  /// heap key in place and defers the re-sift; end_doom_batch() restores the
+  /// heap with one deepest-first sift pass and a single threshold refresh,
+  /// so a store that dooms k readers costs one heap repair, not k. The pop
+  /// order of a binary min-heap over distinct keys is layout-independent,
+  /// so batching cannot change the schedule. Batches must not span a
+  /// charge() or a longjmp (callers keep them tight around the doom loops).
+  void begin_doom_batch() {
+    assert(!doom_batch_);
+    doom_batch_ = true;
+  }
+  void end_doom_batch();
   /// Preemption point under an adversarial policy: consult the Explorer and
   /// switch fibers when it picks a different thread (callee of charge()).
   void explore_step();
@@ -261,16 +289,23 @@ class Runtime {
   void do_dealloc(void* p, std::size_t bytes);
 
  private:
-  static constexpr unsigned char kNoPos = 0xFF;
+  /// Packed-key geometry: low kTidBits hold the tid, the rest the clock.
+  static constexpr unsigned kTidBits = 10;
+  static_assert((1u << kTidBits) >= kMaxThreads);
+  static constexpr unsigned kTidMask = (1u << kTidBits) - 1;
+  static constexpr std::uint16_t kNoPos = 0xFFFF;
 
   static std::uint64_t pack(std::uint64_t clock, unsigned tid) {
-    assert(clock < (std::uint64_t{1} << 58));
-    return (clock << 6) | tid;
+    assert(clock < (std::uint64_t{1} << (64 - kTidBits)));
+    return (clock << kTidBits) | tid;
+  }
+  static unsigned key_tid(std::uint64_t key) {
+    return static_cast<unsigned>(key & kTidMask);
   }
 
   void refresh_threshold() {
     next_min_clock_ =
-        ready_size_ != 0 ? (ready_[0] >> 6) : ~std::uint64_t{0};
+        ready_size_ != 0 ? (ready_[0] >> kTidBits) : ~std::uint64_t{0};
   }
   void heap_sift_down(unsigned i);
   void heap_sift_up(unsigned i);
@@ -284,12 +319,16 @@ class Runtime {
   /// than `cur`, with a tid -> slot index for doom()'s increase-key.
   std::uint64_t ready_[kMaxThreads];
   unsigned ready_size_ = 0;
-  unsigned char heap_pos_[kMaxThreads];
+  std::uint16_t heap_pos_[kMaxThreads];
   /// Clock of the heap root: the single threshold charge() compares against.
   std::uint64_t next_min_clock_ = ~std::uint64_t{0};
-  /// Runnable-thread bitmask, maintained only under an adversarial policy
+  /// Runnable-thread set, maintained only under an adversarial policy
   /// (the Explorer picks among these; the heap above is untouched).
-  std::uint64_t runnable_mask_ = 0;
+  ThreadSet runnable_;
+  /// Doom-batch state: heap positions whose keys doom() rewrote in place.
+  bool doom_batch_ = false;
+  unsigned dirty_count_ = 0;
+  std::uint16_t dirty_[kMaxThreads];
 };
 
 extern Runtime* g_rt;

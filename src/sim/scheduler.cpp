@@ -4,14 +4,16 @@
 //
 // The schedule is identical to the original O(T)-scan dispatcher, computed
 // incrementally: runnable threads other than the running one live in a
-// binary min-heap of packed (clock << 6 | tid) keys (lexicographic
+// binary min-heap of packed (clock << 10 | tid) keys (lexicographic
 // clock-then-index order == integer order), the heap root's clock is cached
 // as the yield threshold charge() compares against, and a yielding fiber
 // swaps itself with the heap root and switches straight to it — the host
 // context is touched only at run start and teardown.
 #include "sim/runtime_internal.h"
 
+#include <algorithm>
 #include <cstdlib>
+#include <functional>
 
 #include "telemetry/trace.h"
 
@@ -23,11 +25,11 @@ void Runtime::heap_sift_up(unsigned i) {
     unsigned parent = (i - 1) / 2;
     if (ready_[parent] <= key) break;
     ready_[i] = ready_[parent];
-    heap_pos_[ready_[i] & 63] = static_cast<unsigned char>(i);
+    heap_pos_[key_tid(ready_[i])] = static_cast<std::uint16_t>(i);
     i = parent;
   }
   ready_[i] = key;
-  heap_pos_[key & 63] = static_cast<unsigned char>(i);
+  heap_pos_[key_tid(key)] = static_cast<std::uint16_t>(i);
 }
 
 void Runtime::heap_sift_down(unsigned i) {
@@ -38,11 +40,11 @@ void Runtime::heap_sift_down(unsigned i) {
     if (child + 1 < ready_size_ && ready_[child + 1] < ready_[child]) ++child;
     if (ready_[child] >= key) break;
     ready_[i] = ready_[child];
-    heap_pos_[ready_[i] & 63] = static_cast<unsigned char>(i);
+    heap_pos_[key_tid(ready_[i])] = static_cast<std::uint16_t>(i);
     i = child;
   }
   ready_[i] = key;
-  heap_pos_[key & 63] = static_cast<unsigned char>(i);
+  heap_pos_[key_tid(key)] = static_cast<std::uint16_t>(i);
 }
 
 void Runtime::heap_push(std::uint64_t key) {
@@ -51,7 +53,7 @@ void Runtime::heap_push(std::uint64_t key) {
 }
 
 unsigned Runtime::heap_pop_min() {
-  unsigned tid = static_cast<unsigned>(ready_[0] & 63);
+  unsigned tid = key_tid(ready_[0]);
   heap_pos_[tid] = kNoPos;
   --ready_size_;
   if (ready_size_ != 0) {
@@ -62,7 +64,7 @@ unsigned Runtime::heap_pop_min() {
 }
 
 unsigned Runtime::heap_replace_min(std::uint64_t key) {
-  unsigned tid = static_cast<unsigned>(ready_[0] & 63);
+  unsigned tid = key_tid(ready_[0]);
   heap_pos_[tid] = kNoPos;
   ready_[0] = key;
   heap_sift_down(0);
@@ -73,10 +75,8 @@ void Runtime::run_all() {
   if (PTO_UNLIKELY(explorer != nullptr)) {
     // Adversarial dispatch: the Explorer owns every scheduling decision and
     // the min-clock heap stays unused.
-    runnable_mask_ = threads.size() == 64
-                         ? ~std::uint64_t{0}
-                         : (std::uint64_t{1} << threads.size()) - 1;
-    unsigned first = explorer->pick_first(runnable_mask_);
+    runnable_.set_first_n(static_cast<unsigned>(threads.size()), nwords);
+    unsigned first = explorer->pick_first(runnable_);
     cur = first;
     ++threads[first].stats.dispatches;
     if (PTO_UNLIKELY(telemetry::trace_sched_on())) {
@@ -90,7 +90,7 @@ void Runtime::run_all() {
   // Ascending (clock=0, tid) keys already satisfy the heap property.
   for (unsigned i = 1; i < threads.size(); ++i) {
     ready_[ready_size_] = pack(0, i);
-    heap_pos_[i] = static_cast<unsigned char>(ready_size_);
+    heap_pos_[i] = static_cast<std::uint16_t>(ready_size_);
     ++ready_size_;
   }
   cur = 0;
@@ -105,7 +105,7 @@ void Runtime::run_all() {
 
 void Runtime::explore_step() {
   unsigned prev = cur;
-  unsigned next = explorer->pick(prev, runnable_mask_);
+  unsigned next = explorer->pick(prev, runnable_);
   if (PTO_LIKELY(next == prev)) return;
   cur = next;
   ++threads[next].stats.dispatches;
@@ -134,11 +134,11 @@ void Runtime::on_fiber_done() {
   VThread& t = threads[cur];
   t.done = true;
   if (PTO_UNLIKELY(explorer != nullptr)) {
-    runnable_mask_ &= ~bit(cur);
-    if (runnable_mask_ == 0) {
+    runnable_.clear(cur);
+    if (runnable_.empty(nwords)) {
       ctx_switch(t.fiber->context(), main_ctx);  // back to run() teardown
     } else {
-      unsigned next = explorer->pick_first(runnable_mask_);
+      unsigned next = explorer->pick_first(runnable_);
       cur = next;
       ++threads[next].stats.dispatches;
       if (PTO_UNLIKELY(telemetry::trace_sched_on())) {
@@ -167,7 +167,34 @@ void Runtime::on_clock_raised(unsigned tid) {
   assert(tid != cur && heap_pos_[tid] != kNoPos);
   unsigned i = heap_pos_[tid];
   ready_[i] = pack(threads[tid].clock, tid);
+  if (PTO_UNLIKELY(doom_batch_)) {
+    // Key rewritten in place; the heap is repaired once at end_doom_batch().
+    // No sifting happens inside a batch, so this recorded position stays
+    // the victim's position until then.
+    dirty_[dirty_count_++] = static_cast<std::uint16_t>(i);
+    return;
+  }
   heap_sift_down(i);  // clocks only increase
+  refresh_threshold();
+}
+
+void Runtime::end_doom_batch() {
+  assert(doom_batch_);
+  doom_batch_ = false;
+  if (dirty_count_ == 0) return;
+  if (dirty_count_ == 1) {
+    heap_sift_down(dirty_[0]);
+  } else {
+    // Restricted Floyd heapify: only the recorded positions hold increased
+    // keys, an increase can only violate the heap property against the
+    // node's *descendants*, and a descendant's array index is always larger
+    // than its ancestor's — so sifting the dirty positions in decreasing
+    // index order meets every one of them with valid subheaps below it.
+    std::sort(dirty_, dirty_ + dirty_count_,
+              std::greater<std::uint16_t>());
+    for (unsigned i = 0; i < dirty_count_; ++i) heap_sift_down(dirty_[i]);
+  }
+  dirty_count_ = 0;
   refresh_threshold();
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -117,7 +118,11 @@ struct ScopeData {
 struct ProfState {
   std::vector<std::unique_ptr<ScopeData>> scopes;
   ScopeData* cur = nullptr;
-  ThreadProf threads[kMaxThreads];
+  /// Per-virtual-thread profiles, grown on demand (~4 KB each: sizing for
+  /// kMaxThreads = 1024 eagerly would be ~4 MB; runs of <= 64 threads never
+  /// grow past the initial 64). References into this vector are invalidated
+  /// by growth — call ensure_threads() before taking any.
+  std::vector<ThreadProf> threads = std::vector<ThreadProf>(64);
   /// Cumulative process-wide counters feeding the perfetto counter tracks.
   std::uint64_t conflicts_total = 0;
   std::uint64_t doomed_total = 0;
@@ -166,7 +171,28 @@ const bool g_env_scanned = [] {
   return true;
 }();
 
-ThreadProf& me() { return state().threads[sim::thread_id() % kMaxThreads]; }
+/// Grow the per-thread profile vector to cover `tid` (invalidates earlier
+/// ThreadProf references; callers take refs only after all growth). Warn
+/// once on an out-of-range id instead of silently aliasing a shared slot.
+ThreadProf& thread_prof(ProfState& ps, unsigned tid) {
+  if (PTO_UNLIKELY(tid >= kMaxThreads)) {
+    static bool warned = false;
+    if (!warned) {
+      warned = true;
+      std::fprintf(stderr,
+                   "[pto] warning: prof thread id %u >= kMaxThreads (%u); "
+                   "profile slots are being reused\n",
+                   tid, kMaxThreads);
+    }
+    tid %= kMaxThreads;
+  }
+  if (PTO_UNLIKELY(tid >= ps.threads.size())) {
+    ps.threads.resize(tid + 1);
+  }
+  return ps.threads[tid];
+}
+
+ThreadProf& me() { return thread_prof(state(), sim::thread_id()); }
 
 /// Pop the innermost span matching (site, kind), discarding any spans above
 /// it — those are attempts abandoned when an abort longjmp'd through their
@@ -437,8 +463,12 @@ void on_tx_commit() { me().tx_site = nullptr; }
 void on_conflict(unsigned victim, unsigned aggressor, std::uintptr_t line,
                  std::uint64_t doomed_cycles) {
   ProfState& ps = state();
-  ThreadProf& vp = ps.threads[victim % kMaxThreads];
-  ThreadProf& ap = ps.threads[aggressor % kMaxThreads];
+  // Grow for both ids before taking either reference: a resize between the
+  // two would invalidate the first.
+  thread_prof(ps, victim);
+  thread_prof(ps, aggressor);
+  ThreadProf& vp = thread_prof(ps, victim);
+  ThreadProf& ap = thread_prof(ps, aggressor);
   const Site* vs = vp.tx_site;
   // The aggressor attributes from its innermost open span, attempt or
   // fallback — "fallback of X doomed the fast path of Y" is a real and

@@ -1,5 +1,6 @@
 #include "telemetry/registry.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <iomanip>
 #include <iostream>
@@ -35,38 +36,91 @@ void set_enabled(bool on) {
   detail::g_enabled.store(on, std::memory_order_relaxed);
 }
 
+Site::~Site() {
+  for (auto& e : ext_) delete[] e.load(std::memory_order_relaxed);
+}
+
+SiteShard* Site::ext_segment(unsigned seg) {
+  SiteShard* p = ext_[seg].load(std::memory_order_acquire);
+  if (p != nullptr) return p;
+  // Cold path, taken at most kShardSegs - 1 times per site over the process
+  // lifetime; one process-wide mutex is plenty.
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lk(mu);
+  p = ext_[seg].load(std::memory_order_relaxed);
+  if (p == nullptr) {
+    p = new SiteShard[kShardSeg];
+    ext_[seg].store(p, std::memory_order_release);
+  }
+  return p;
+}
+
+SiteShard& Site::shard_at(unsigned slot) {
+  if (PTO_LIKELY(slot < kShardSeg)) return shards_[slot];
+  return ext_segment(slot / kShardSeg - 1)[slot % kShardSeg];
+}
+
 SiteShard& Site::shard() {
   // Virtual threads within a simulation map to their thread id (they all run
   // on one host thread, so the slots are exclusive). Native threads get a
   // slot from a process-wide counter; past kMaxThreads live threads slots
-  // are reused, which stays correct because shards are atomic.
-  if (sim::active()) return shards_[sim::thread_id() % kMaxThreads];
+  // are reused, which stays correct because shards are atomic — but warn
+  // once, because aliased shards make per-thread attribution lie silently.
+  if (sim::active()) return shard_at(sim::thread_id());
   static std::atomic<unsigned> next_slot{0};
-  thread_local unsigned slot =
-      next_slot.fetch_add(1, std::memory_order_relaxed) % kMaxThreads;
-  return shards_[slot];
+  thread_local unsigned slot = [] {
+    unsigned raw = next_slot.fetch_add(1, std::memory_order_relaxed);
+    if (PTO_UNLIKELY(raw >= kMaxThreads)) {
+      static std::atomic<bool> warned{false};
+      if (!warned.exchange(true, std::memory_order_relaxed)) {
+        std::fprintf(stderr,
+                     "[pto] warning: more than %u live threads; telemetry "
+                     "shard slots are being reused (counters stay correct, "
+                     "per-thread attribution aliases)\n",
+                     kMaxThreads);
+      }
+    }
+    return raw % kMaxThreads;
+  }();
+  return shard_at(slot);
 }
+
+namespace {
+void accumulate_shard(PrefixStats& s, const SiteShard& sh) {
+  s.attempts += sh.attempts.load(std::memory_order_relaxed);
+  s.commits += sh.commits.load(std::memory_order_relaxed);
+  s.fallbacks += sh.fallbacks.load(std::memory_order_relaxed);
+  for (unsigned i = 0; i < kTxCodeCount; ++i) {
+    s.aborts[i] += sh.aborts[i].load(std::memory_order_relaxed);
+  }
+}
+
+void zero_shard(SiteShard& sh) {
+  sh.attempts.store(0, std::memory_order_relaxed);
+  sh.commits.store(0, std::memory_order_relaxed);
+  sh.fallbacks.store(0, std::memory_order_relaxed);
+  for (unsigned i = 0; i < kTxCodeCount; ++i) {
+    sh.aborts[i].store(0, std::memory_order_relaxed);
+  }
+}
+}  // namespace
 
 PrefixStats Site::snapshot() const {
   PrefixStats s;
-  for (const SiteShard& sh : shards_) {
-    s.attempts += sh.attempts.load(std::memory_order_relaxed);
-    s.commits += sh.commits.load(std::memory_order_relaxed);
-    s.fallbacks += sh.fallbacks.load(std::memory_order_relaxed);
-    for (unsigned i = 0; i < kTxCodeCount; ++i) {
-      s.aborts[i] += sh.aborts[i].load(std::memory_order_relaxed);
+  for (const SiteShard& sh : shards_) accumulate_shard(s, sh);
+  for (const auto& e : ext_) {
+    if (const SiteShard* seg = e.load(std::memory_order_acquire)) {
+      for (unsigned i = 0; i < kShardSeg; ++i) accumulate_shard(s, seg[i]);
     }
   }
   return s;
 }
 
 void Site::reset() {
-  for (SiteShard& sh : shards_) {
-    sh.attempts.store(0, std::memory_order_relaxed);
-    sh.commits.store(0, std::memory_order_relaxed);
-    sh.fallbacks.store(0, std::memory_order_relaxed);
-    for (unsigned i = 0; i < kTxCodeCount; ++i) {
-      sh.aborts[i].store(0, std::memory_order_relaxed);
+  for (SiteShard& sh : shards_) zero_shard(sh);
+  for (auto& e : ext_) {
+    if (SiteShard* seg = e.load(std::memory_order_acquire)) {
+      for (unsigned i = 0; i < kShardSeg; ++i) zero_shard(seg[i]);
     }
   }
 }

@@ -60,6 +60,7 @@ class Site {
  public:
   explicit Site(std::string name, unsigned id = 0)
       : name_(std::move(name)), id_(id) {}
+  ~Site();
   Site(const Site&) = delete;
   Site& operator=(const Site&) = delete;
 
@@ -89,11 +90,25 @@ class Site {
   void reset();
 
  private:
+  // Shard storage is segmented: the first kShardSeg slots (every slot a
+  // <= 64-thread run ever touches) are embedded in the Site, so the common
+  // case stays a single indexed access with no extra indirection branch
+  // mispredicts; the remaining kMaxThreads - kShardSeg slots live in
+  // lazily-allocated segments, so a site costs ~8 KB until a run actually
+  // exceeds 64 live threads (eagerly sizing every site for 1024 threads
+  // would be ~128 KB per site).
+  static constexpr unsigned kShardSeg = 64;
+  static constexpr unsigned kShardSegs = kMaxThreads / kShardSeg;
+
   SiteShard& shard();
+  SiteShard& shard_at(unsigned slot);
+  /// Cold path: materialize extension segment `seg` (registry.cpp).
+  SiteShard* ext_segment(unsigned seg);
 
   std::string name_;
   unsigned id_;
-  SiteShard shards_[kMaxThreads];
+  SiteShard shards_[kShardSeg];
+  std::atomic<SiteShard*> ext_[kShardSegs - 1]{};
 };
 
 class Registry {

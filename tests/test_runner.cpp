@@ -17,6 +17,7 @@ class RunnerEnv : public ::testing::Test {
     unsetenv("PTO_BENCH_OPS");
     unsetenv("PTO_BENCH_TRIALS");
     unsetenv("PTO_BENCH_MAXT");
+    unsetenv("PTO_BENCH_SWEEP");
   }
 };
 
@@ -56,6 +57,44 @@ TEST_F(RunnerEnv, ZeroAndTrailingJunkRejected) {
   EXPECT_EQ(o.max_threads, defaults.max_threads);
   EXPECT_NE(err.find("PTO_BENCH_TRIALS"), std::string::npos) << err;
   EXPECT_NE(err.find("PTO_BENCH_MAXT"), std::string::npos) << err;
+}
+
+TEST_F(RunnerEnv, GeometricSweepDoublesAndIncludesMax) {
+  setenv("PTO_BENCH_MAXT", "48", 1);
+  setenv("PTO_BENCH_SWEEP", "geom", 1);
+  RunnerOptions o = RunnerOptions::from_env();
+  EXPECT_TRUE(o.geometric_sweep);
+  EXPECT_EQ(pto::bench::sweep_threads(o),
+            (std::vector<int>{1, 2, 4, 8, 16, 32, 48}));
+  // A power-of-two max is not duplicated.
+  setenv("PTO_BENCH_MAXT", "64", 1);
+  o = RunnerOptions::from_env();
+  EXPECT_EQ(pto::bench::sweep_threads(o),
+            (std::vector<int>{1, 2, 4, 8, 16, 32, 64}));
+  // Unknown sweep shape warns and stays dense.
+  setenv("PTO_BENCH_SWEEP", "cubic", 1);
+  ::testing::internal::CaptureStderr();
+  o = RunnerOptions::from_env();
+  std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_FALSE(o.geometric_sweep);
+  EXPECT_NE(err.find("PTO_BENCH_SWEEP"), std::string::npos) << err;
+}
+
+TEST_F(RunnerEnv, MaxThreadsAboveSimulatorLimitClampsWithWarning) {
+  setenv("PTO_BENCH_MAXT", "4096", 1);
+  ::testing::internal::CaptureStderr();
+  RunnerOptions o = RunnerOptions::from_env();
+  std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(o.max_threads, pto::kMaxThreads);
+  EXPECT_NE(err.find("PTO_BENCH_MAXT"), std::string::npos) << err;
+  EXPECT_NE(err.find("clamping"), std::string::npos) << err;
+  // The simulator limit itself is accepted silently.
+  setenv("PTO_BENCH_MAXT", "1024", 1);
+  ::testing::internal::CaptureStderr();
+  o = RunnerOptions::from_env();
+  err = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(o.max_threads, 1024u);
+  EXPECT_EQ(err.find("clamping"), std::string::npos) << err;
 }
 
 }  // namespace

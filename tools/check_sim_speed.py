@@ -8,10 +8,19 @@ order-of-magnitude hot-path regressions (e.g. a syscall or allocation creeping
 back into charge()/mem access), not single-digit jitter — hence a generous
 default tolerance and a deliberately conservative committed baseline.
 
+Beyond the per-point baseline comparison, --scaling-anchor (default 64)
+checks the high-vthread tail of the *current* run: throughput at N > anchor
+vthreads must not fall below anchor-throughput / (N / anchor), i.e. the
+per-sim-op cost may grow at most linearly in the thread count. A superlinear
+cliff there means the ThreadSet / dispatcher scale-out regressed (e.g. a scan
+over all kMaxThreads slots crept back into the per-access path).
+
 Usage:
   check_sim_speed.py BASELINE CURRENT [--tolerance 0.25] [--key host_ops_per_sec]
+                     [--scaling-anchor 64]
 
-Exit status: 0 when every matched point is within tolerance, 1 otherwise.
+Exit status: 0 when every matched point is within tolerance and the scaling
+check holds, 1 otherwise.
 """
 
 import argparse
@@ -41,6 +50,13 @@ def main():
         "--key",
         default="host_ops_per_sec",
         help="throughput field to compare (default host_ops_per_sec)",
+    )
+    ap.add_argument(
+        "--scaling-anchor",
+        type=int,
+        default=64,
+        help="vthread count anchoring the high-vthread linear-slowdown check "
+        "(default 64; 0 disables)",
     )
     args = ap.parse_args()
 
@@ -74,6 +90,34 @@ def main():
         )
         return 1
     print(f"\nOK: all {len(shared)} points within {args.tolerance:.0%} of baseline.")
+
+    anchor = args.scaling_anchor
+    if anchor and anchor in cur:
+        anchor_tp = float(cur[anchor][args.key])
+        tails = [vt for vt in sorted(cur) if vt > anchor]
+        scaling_failed = []
+        for vt in tails:
+            c = float(cur[vt][args.key])
+            # Linear-in-N per-op slowdown bound, with the same jitter
+            # tolerance the baseline comparison uses.
+            floor_tp = anchor_tp / (vt / anchor) * (1.0 - args.tolerance)
+            mark = "" if c >= floor_tp else "  << FAIL"
+            print(
+                f"scaling vthreads={vt}: {c:.3e} vs linear floor "
+                f"{floor_tp:.3e} (anchor {anchor} at {anchor_tp:.3e}){mark}"
+            )
+            if c < floor_tp:
+                scaling_failed.append(vt)
+        if scaling_failed:
+            print(
+                f"\nFAIL: per-sim-op cost grows superlinearly past "
+                f"{anchor} vthreads (at {scaling_failed}); the high-vthread "
+                "hot path regressed.",
+                file=sys.stderr,
+            )
+            return 1
+        if tails:
+            print(f"OK: {len(tails)} high-vthread point(s) within the linear bound.")
     return 0
 
 
