@@ -13,6 +13,7 @@
 
 #include "benchutil/runner.h"
 #include "benchutil/series.h"
+#include "metrics/metrics.h"
 #include "sim/sim.h"
 #include "telemetry/emit.h"
 #include "telemetry/prof.h"
@@ -50,7 +51,13 @@ void run_variant(Figure& fig, const RunnerOptions& opts,
     double sum = 0.0;
     telemetry::BenchPoint pt;
     PrefixStats reg_before;
-    if (emit) reg_before = telemetry::registry_totals();
+    if (emit) {
+      reg_before = telemetry::registry_totals();
+      pt.ts_start = telemetry::iso8601_now();
+    }
+    const std::uint64_t intervals_before = metrics::intervals_emitted();
+    metrics::set_point_labels(fig.id.c_str(), name.c_str(),
+                              static_cast<unsigned>(threads));
     for (unsigned trial = 0; trial < opts.trials; ++trial) {
       sim::Config cfg = base_cfg;
       cfg.seed = opts.base_seed + 7919ull * trial + 131ull * threads;
@@ -77,6 +84,8 @@ void run_variant(Figure& fig, const RunnerOptions& opts,
       pt.trials = opts.trials;
       pt.ops_per_ms = s.y.back();
       pt.prefix = telemetry::registry_delta(reg_before);
+      pt.ts_end = telemetry::iso8601_now();
+      pt.intervals = metrics::intervals_emitted() - intervals_before;
       telemetry::emit_bench_point(pt);
     }
     std::cerr << "  " << name << " t=" << threads << " done\r" << std::flush;

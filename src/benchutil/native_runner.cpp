@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "htm/htm.h"
+#include "metrics/metrics.h"
 #include "obs/obs.h"
 #include "obs/perf_counters.h"
 #include "obs/tsc.h"
@@ -53,9 +54,15 @@ double native_measure_point(
       telemetry::stats_format() != telemetry::StatsFormat::kOff &&
       bench != nullptr;
   PrefixStats reg_before;
+  const std::string ts_start = telemetry::iso8601_now();
   if (emit) reg_before = telemetry::registry_totals();
   if (obs::hist_on()) obs::reset_latency();
   const obs::PerfSample perf_before = obs::perf_read();
+  // Arm the wall-clock metrics sampler after the obs reset so this point's
+  // interval deltas re-baseline at zero samples.
+  const std::uint64_t intervals_before = metrics::intervals_emitted();
+  metrics::set_point_labels(bench, series, threads);
+  metrics::native_point_begin();
 
   double best = 0.0;
   for (unsigned trial = 0; trial < opts.trials; ++trial) {
@@ -67,6 +74,9 @@ double native_measure_point(
                                                   static_cast<double>(ns);
     if (ops_per_ms > best) best = ops_per_ms;
   }
+  // Stops the sampler and emits the trailing partial interval, so the sum
+  // of this point's interval deltas equals its end-of-run aggregates.
+  metrics::native_point_end();
 
   if (emit) {
     telemetry::BenchPoint pt;
@@ -85,6 +95,9 @@ double native_measure_point(
       pt.lat_fallback = merged.fallback;
     }
     pt.perf = obs::perf_delta(perf_before, obs::perf_read());
+    pt.ts_start = ts_start;
+    pt.ts_end = telemetry::iso8601_now();
+    pt.intervals = metrics::intervals_emitted() - intervals_before;
     telemetry::emit_bench_point(pt);
   }
   return best;

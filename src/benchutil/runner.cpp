@@ -1,12 +1,11 @@
 #include "benchutil/runner.h"
 
-#include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <set>
-#include <string>
 
+#include "common/warn.h"
 #include "explore/explore.h"
+#include "metrics/metrics.h"
 #include "telemetry/emit.h"
 #include "telemetry/prof.h"
 #include "telemetry/registry.h"
@@ -22,13 +21,10 @@ std::uint64_t env_u64(const char* name, std::uint64_t dflt) {
   if (end != v && *end == '\0' && parsed > 0) return parsed;
   // A malformed or zero knob silently reverting to the default makes sweep
   // misconfigurations invisible; warn once per variable.
-  static std::set<std::string> warned;
-  if (warned.insert(name).second) {
-    std::fprintf(stderr,
-                 "[pto] warning: ignoring invalid %s='%s' (want a positive "
-                 "integer); using default %llu\n",
-                 name, v, static_cast<unsigned long long>(dflt));
-  }
+  warn_once(name,
+            "ignoring invalid %s='%s' (want a positive integer); using "
+            "default %llu",
+            name, v, static_cast<unsigned long long>(dflt));
   return dflt;
 }
 }  // namespace
@@ -42,10 +38,10 @@ RunnerOptions RunnerOptions::from_env() {
   if (o.max_threads > kMaxThreads) {
     // Passing the clamped value on to sim::run would throw mid-sweep; clamp
     // here with a warning so a fat-fingered sweep still produces data.
-    std::fprintf(stderr,
-                 "[pto] warning: PTO_BENCH_MAXT=%u exceeds the simulator "
-                 "limit of %u virtual threads; clamping to %u\n",
-                 o.max_threads, kMaxThreads, kMaxThreads);
+    warn_once("env.PTO_BENCH_MAXT.clamp",
+              "PTO_BENCH_MAXT=%u exceeds the simulator limit of %u virtual "
+              "threads; clamping to %u",
+              o.max_threads, kMaxThreads, kMaxThreads);
     o.max_threads = kMaxThreads;
   }
   if (const char* v = std::getenv("PTO_BENCH_SWEEP");
@@ -53,14 +49,10 @@ RunnerOptions RunnerOptions::from_env() {
     if (std::strcmp(v, "geom") == 0) {
       o.geometric_sweep = true;
     } else if (std::strcmp(v, "dense") != 0) {
-      static bool warned = false;
-      if (!warned) {
-        warned = true;
-        std::fprintf(stderr,
-                     "[pto] warning: ignoring invalid PTO_BENCH_SWEEP='%s' "
-                     "(want dense|geom); using dense\n",
-                     v);
-      }
+      warn_once("env.PTO_BENCH_SWEEP",
+                "ignoring invalid PTO_BENCH_SWEEP='%s' (want dense|geom); "
+                "using dense",
+                v);
     }
   }
   return o;
@@ -99,7 +91,12 @@ double measure_point(
   }
   telemetry::BenchPoint pt;
   PrefixStats reg_before;
-  if (emit) reg_before = telemetry::registry_totals();
+  if (emit) {
+    reg_before = telemetry::registry_totals();
+    pt.ts_start = telemetry::iso8601_now();
+  }
+  const std::uint64_t intervals_before = metrics::intervals_emitted();
+  metrics::set_point_labels(bench, series, threads);
   double sum = 0.0;
   // Resolve the exploration policy once per point: each trial then derives
   // its own schedule seed from the resolved base, the same way workload
@@ -135,6 +132,8 @@ double measure_point(
     pt.trials = opts.trials;
     pt.ops_per_ms = mean;
     pt.prefix = telemetry::registry_delta(reg_before);
+    pt.ts_end = telemetry::iso8601_now();
+    pt.intervals = metrics::intervals_emitted() - intervals_before;
     telemetry::emit_bench_point(pt);
   }
   return mean;

@@ -1,0 +1,21 @@
+// Process-wide instantaneous gauges, readable by pto::metrics and the
+// watchdog without creating a dependency from the owning subsystem onto
+// metrics/. Gauges are host atomics: bumping one never charges virtual
+// cycles, so arming metrics cannot perturb a simulated schedule.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace pto::gauges {
+
+/// Nodes retired to an epoch-reclamation domain and not yet freed, summed
+/// over every EpochDomain in the process (reclaim/epoch.h bumps this on
+/// retire and drops it as deferred frees run). The `reclaim_backlog`
+/// watchdog rule fires on this.
+inline std::atomic<std::int64_t>& reclaim_backlog() {
+  static std::atomic<std::int64_t> g{0};
+  return g;
+}
+
+}  // namespace pto::gauges

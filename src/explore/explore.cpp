@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/warn.h"
+
 namespace pto::explore {
 
 namespace {
@@ -93,28 +95,19 @@ Options resolved(const Options& o) {
     r.policy = Policy::kRR;
     const char* s = std::getenv("PTO_SCHED");
     if (s != nullptr && *s != '\0' && !parse_sched(s, r)) {
-      static bool warned = false;
-      if (!warned) {
-        warned = true;
-        std::fprintf(stderr,
-                     "[pto] warning: ignoring invalid PTO_SCHED='%s' (want "
-                     "rr | pct:<seed>[:d[:k]] | rand:<seed> | "
-                     "replay:<file>); using rr\n",
-                     s);
-      }
+      warn_once("env.PTO_SCHED",
+                "ignoring invalid PTO_SCHED='%s' (want rr | "
+                "pct:<seed>[:d[:k]] | rand:<seed> | replay:<file>); using rr",
+                s);
     }
   }
   if (r.fault_rate == 0.0) {
     const char* f = std::getenv("PTO_HTM_FAULTS");
     if (f != nullptr && *f != '\0' && !parse_faults(f, r)) {
-      static bool warned = false;
-      if (!warned) {
-        warned = true;
-        std::fprintf(stderr,
-                     "[pto] warning: ignoring invalid PTO_HTM_FAULTS='%s' "
-                     "(want <seed>:<rate> with rate in [0,1])\n",
-                     f);
-      }
+      warn_once("env.PTO_HTM_FAULTS",
+                "ignoring invalid PTO_HTM_FAULTS='%s' (want <seed>:<rate> "
+                "with rate in [0,1])",
+                f);
     }
   }
   return r;

@@ -1,5 +1,7 @@
 #include "obs/flight.h"
 
+#include "common/warn.h"
+
 #include <atomic>
 #include <bit>
 #include <cerrno>
@@ -51,10 +53,9 @@ std::uint32_t env_capacity() {
   char* end = nullptr;
   unsigned long n = std::strtoul(v, &end, 10);
   if (end == v || *end != '\0' || n == 0) {
-    std::fprintf(stderr,
-                 "[pto] warning: ignoring invalid PTO_FLIGHT='%s' "
-                 "(want a positive event count)\n",
-                 v);
+    warn_once("env.PTO_FLIGHT",
+              "ignoring invalid PTO_FLIGHT='%s' (want a positive event count)",
+              v);
     return 0;
   }
   return static_cast<std::uint32_t>(n);
@@ -89,13 +90,10 @@ FlightRing* make_thread_ring() {
   unsigned idx = g_state.ring_count.load(std::memory_order_relaxed);
   for (;;) {
     if (idx >= kMaxRings) {
-      static std::atomic<bool> warned{false};
-      if (!warned.exchange(true)) {
-        std::fprintf(stderr,
-                     "[pto] warning: PTO_FLIGHT ring table full (%u threads); "
-                     "further threads are not recorded\n",
-                     kMaxRings);
-      }
+      warn_once("flight.ring_table_full",
+                "PTO_FLIGHT ring table full (%u threads); further threads "
+                "are not recorded",
+                kMaxRings);
       delete ring;
       return nullptr;
     }

@@ -82,6 +82,22 @@ class Histogram {
     max_ = 0;
   }
 
+  /// Turn this histogram into the bucket-wise difference against `earlier`,
+  /// an older snapshot of the same recording stream. Buckets clamp at zero
+  /// and the total is recomputed from the clamped buckets, so a snapshot
+  /// taken while a writer is mid-record (pto::metrics samples without
+  /// quiescing) yields a sane near-exact delta instead of underflowing.
+  /// max_value() stays cumulative (the interval's own max is not recoverable
+  /// from bucket counts).
+  void subtract_clamped(const Histogram& earlier) {
+    total_ = 0;
+    for (unsigned i = 0; i < kHistBuckets; ++i) {
+      counts_[i] =
+          counts_[i] > earlier.counts_[i] ? counts_[i] - earlier.counts_[i] : 0;
+      total_ += counts_[i];
+    }
+  }
+
   std::uint64_t total() const { return total_; }
   std::uint64_t max_value() const { return max_; }
   std::uint64_t bucket_count(unsigned idx) const { return counts_[idx]; }

@@ -124,6 +124,19 @@ HistSummary to_ns(const Histogram& h) {
 }
 }  // namespace
 
+RawMerged merged_raw() {
+  LatencyState& st = lat_state();
+  std::lock_guard<std::mutex> lk(st.mu);
+  RawMerged m;
+  for (const auto& b : st.blocks) {
+    m.fast.merge(b->fast);
+    m.fallback.merge(b->fallback);
+  }
+  m.all.merge(m.fast);
+  m.all.merge(m.fallback);
+  return m;
+}
+
 MergedLatency merged_latency(std::vector<LatencySiteSummary>* out_sites) {
   LatencyState& st = lat_state();
   std::lock_guard<std::mutex> lk(st.mu);

@@ -99,6 +99,20 @@ struct MergedLatency {
 };
 MergedLatency merged_latency(std::vector<LatencySiteSummary>* out_sites);
 
+/// Bucket-level merge across every (thread, site) block, in raw ticks, with
+/// no quantile summarization — the snapshot primitive behind pto::metrics
+/// interval deltas (two snapshots subtract bucket-wise). Unlike
+/// merged_latency() this is routinely called *without* quiescing: worker
+/// threads may be mid-record, so a snapshot can trail the true counts by the
+/// in-flight increments; totals are exact at any quiescent point, which is
+/// where the sum-of-deltas invariant is asserted.
+struct RawMerged {
+  Histogram all;
+  Histogram fast;
+  Histogram fallback;
+};
+RawMerged merged_raw();
+
 /// Scoped per-op timer: reads the tsc on entry, records on done()/destruction
 /// and classifies fast vs fallback by whether tls_fallbacks moved. All no-ops
 /// unless hist_on().

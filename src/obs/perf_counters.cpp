@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/warn.h"
+
 #if defined(__linux__)
 #include <fcntl.h>
 #include <linux/perf_event.h>
@@ -128,10 +130,10 @@ PerfState init_state() {
   core_ok &= add(open_counter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES),
                  &PerfSample::llc_misses);
   if (!core_ok) {
-    std::fprintf(stderr,
-                 "[pto] warning: PTO_PERF=1 but perf_event_open is "
-                 "unavailable (%s); hardware counters disabled\n",
-                 std::strerror(errno));
+    warn_once("perf.unavailable",
+              "PTO_PERF=1 but perf_event_open is unavailable (%s); hardware "
+              "counters disabled",
+              std::strerror(errno));
     for (int i = 0; i < st.n; ++i) ::close(st.counters[i].fd);
     return PerfState{};
   }
@@ -157,9 +159,9 @@ PerfState init_state() {
   }
   st.tsx = tsx_ok;
   if (!tsx_ok) {
-    std::fprintf(stderr,
-                 "[pto] note: PTO_PERF=1: TSX PMU events not exposed here; "
-                 "emitting core counters only\n");
+    warn_once("perf.no_tsx_events",
+              "PTO_PERF=1: TSX PMU events not exposed here; emitting core "
+              "counters only");
   }
   return st;
 }
@@ -196,8 +198,7 @@ bool perf_on() {
   static bool warned = [] {
     const char* v = std::getenv("PTO_PERF");
     if (v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0) {
-      std::fprintf(stderr,
-                   "[pto] warning: PTO_PERF is Linux-only; ignoring\n");
+      warn_once("env.PTO_PERF", "PTO_PERF is Linux-only; ignoring");
     }
     return true;
   }();

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/defs.h"
+#include "common/gauges.h"
 #include "platform/platform.h"
 
 namespace pto {
@@ -35,6 +36,8 @@ class EpochDomain {
 
   ~EpochDomain() {
     for (auto& r : orphans_) r.del(r.p, r.ctx);
+    gauges::reclaim_backlog().fetch_sub(
+        static_cast<std::int64_t>(orphans_.size()), std::memory_order_relaxed);
   }
 
   /// Claim a per-thread slot. The Handle must outlive all Guards and retire
@@ -135,6 +138,9 @@ class EpochDomain {
       limbo_.push_back(
           {p, domain_->global_epoch_.load(std::memory_order_relaxed),
            &deleter<T>, nullptr});
+      // Host-side gauge for the metrics watchdog (`reclaim_backlog` rule);
+      // a relaxed host atomic, so it never charges virtual cycles.
+      gauges::reclaim_backlog().fetch_add(1, std::memory_order_relaxed);
       if (limbo_.size() >= kReclaimBatch) reclaim_some();
     }
 
@@ -146,6 +152,7 @@ class EpochDomain {
       limbo_.push_back(
           {p, domain_->global_epoch_.load(std::memory_order_relaxed), del,
            ctx});
+      gauges::reclaim_backlog().fetch_add(1, std::memory_order_relaxed);
       if (limbo_.size() >= kReclaimBatch) reclaim_some();
     }
 
@@ -167,6 +174,11 @@ class EpochDomain {
         } else {
           limbo_[kept++] = limbo_[i];
         }
+      }
+      const std::size_t freed = limbo_.size() - kept;
+      if (freed != 0) {
+        gauges::reclaim_backlog().fetch_sub(
+            static_cast<std::int64_t>(freed), std::memory_order_relaxed);
       }
       limbo_.resize(kept);
     }

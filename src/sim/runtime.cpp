@@ -1,12 +1,15 @@
 // Runtime construction, the public run() entry point, and thin hook wrappers.
 #include "sim/runtime_internal.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 
 #include "check/check.h"
+#include "common/warn.h"
+#include "metrics/metrics.h"
 #include "telemetry/prof.h"
 #include "telemetry/trace.h"
 
@@ -66,14 +69,9 @@ std::size_t fiber_stack_bytes(unsigned nthreads) {
     if (end != v && *end == '\0' && kb >= 16) {
       return static_cast<std::size_t>(kb) * 1024;
     }
-    static bool warned = false;
-    if (!warned) {
-      warned = true;
-      std::fprintf(stderr,
-                   "[pto] warning: ignoring invalid PTO_SIM_STACK_KB='%s' "
-                   "(want an integer >= 16)\n",
-                   v);
-    }
+    warn_once("env.PTO_SIM_STACK_KB",
+              "ignoring invalid PTO_SIM_STACK_KB='%s' (want an integer >= 16)",
+              v);
   }
   return nthreads <= kFiberStackSmallCutoff ? kFiberStack : kFiberStackLarge;
 }
@@ -134,6 +132,7 @@ RunResult run(unsigned nthreads, const Config& cfg,
   }
   g_rt = &rt;
   if (PTO_UNLIKELY(check::on())) check::on_run_begin(nthreads);
+  if (PTO_UNLIKELY(metrics::armed())) metrics::sim_run_begin(nthreads);
   const std::size_t stack_bytes = fiber_stack_bytes(nthreads);
   for (unsigned i = 0; i < nthreads; ++i) {
     rt.threads[i].fiber =
@@ -144,6 +143,11 @@ RunResult run(unsigned nthreads, const Config& cfg,
   }
   rt.run_all();
   if (PTO_UNLIKELY(check::on())) check::on_run_end();
+  if (PTO_UNLIKELY(metrics::armed())) {
+    std::uint64_t final_vt = 0;
+    for (const auto& t : rt.threads) final_vt = std::max(final_vt, t.clock);
+    metrics::sim_run_end(final_vt);
+  }
   g_rt = nullptr;
   // Rewrite the trace file at every run boundary so a partially-finished
   // bench still leaves a loadable trace behind.

@@ -12,6 +12,7 @@
 #include "common/rng.h"
 #include "common/threadset.h"
 #include "explore/explorer.h"
+#include "metrics/metrics.h"
 #include "sim/fiber.h"
 #include "sim/sim.h"
 
@@ -230,6 +231,14 @@ class Runtime {
   void charge(std::uint64_t cost) {
     VThread& t = me();
     t.clock += cost;
+    // Virtual-time metrics ticker (PTO_METRICS on simx). The running thread
+    // is a clock minimum over runnable threads, so its clock is virtual
+    // "now"; the tick emits from host memory only — no cycles charged, no
+    // simulated allocation, no schedule perturbation. One compare against a
+    // sentinel (~0 when off) on the hot path.
+    if (PTO_UNLIKELY(t.clock >= metrics::detail::g_sim_next_tick)) {
+      metrics::detail::sim_tick(t.clock);
+    }
     if (PTO_UNLIKELY(explorer != nullptr)) {
       explore_step();
       return;

@@ -1,10 +1,16 @@
 #include "telemetry/emit.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <iostream>
 #include <ostream>
+
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
 
 #include "common/buildinfo.h"
 #include "telemetry/registry.h"
@@ -191,6 +197,14 @@ void emit_json(std::ostream& os, const BenchPoint& p) {
   json_str(os, or_default(p.build_type, build_type()));
   os << ",\"fiber_backend\":";
   json_str(os, or_default(p.fiber_backend, fiber_backend()));
+  const std::string now = iso8601_now();
+  os << ",\"ts_start\":";
+  json_str(os, or_default(p.ts_start, now.c_str()));
+  os << ",\"ts_end\":";
+  json_str(os, or_default(p.ts_end, now.c_str()));
+  os << ",\"hostname\":";
+  json_str(os, or_default(p.hostname, host_name().c_str()));
+  os << ",\"intervals\":" << p.intervals;
   os << "}\n";
 }
 
@@ -224,7 +238,8 @@ void emit_csv(std::ostream& os, const BenchPoint& p, bool header) {
     // "sampled as zero" and "not sampled" are distinguishable.
     os << ",perf_cycles,perf_instructions,perf_llc_misses,perf_tx_start,"
           "perf_tx_abort,perf_tx_capacity,perf_tx_conflict";
-    os << ",schema_version,git_sha,build_type,fiber_backend\n";
+    os << ",schema_version,git_sha,build_type,fiber_backend,ts_start,ts_end,"
+          "hostname,intervals\n";
   }
   csv_str(os, p.bench);
   os << ',';
@@ -265,7 +280,14 @@ void emit_csv(std::ostream& os, const BenchPoint& p, bool header) {
   csv_str(os, or_default(p.build_type, build_type()));
   os << ',';
   csv_str(os, or_default(p.fiber_backend, fiber_backend()));
-  os << '\n';
+  const std::string now = iso8601_now();
+  os << ',';
+  csv_str(os, or_default(p.ts_start, now.c_str()));
+  os << ',';
+  csv_str(os, or_default(p.ts_end, now.c_str()));
+  os << ',';
+  csv_str(os, or_default(p.hostname, host_name().c_str()));
+  os << ',' << p.intervals << '\n';
 }
 
 }  // namespace
@@ -279,6 +301,41 @@ void set_stats_format(StatsFormat f) {
 }
 
 void set_stats_stream(std::ostream* os) { state().os = os; }
+
+std::string iso8601_now() {
+  using namespace std::chrono;
+  const auto now = system_clock::now();
+  const std::time_t t = system_clock::to_time_t(now);
+  std::tm tm{};
+#if defined(_WIN32)
+  gmtime_s(&tm, &t);
+#else
+  gmtime_r(&t, &tm);
+#endif
+  const auto ms = static_cast<int>(
+      duration_cast<milliseconds>(now.time_since_epoch()).count() % 1000);
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, ms);
+  return buf;
+}
+
+const std::string& host_name() {
+  static const std::string h = [] {
+#if defined(_WIN32)
+    return std::string("unknown");
+#else
+    char buf[256];
+    if (::gethostname(buf, sizeof buf) == 0) {
+      buf[sizeof buf - 1] = '\0';
+      return std::string(buf);
+    }
+    return std::string("unknown");
+#endif
+  }();
+  return h;
+}
 
 void emit_bench_point(const BenchPoint& p) {
   State& s = state();

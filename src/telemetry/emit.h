@@ -65,9 +65,25 @@ struct BenchPoint {
   std::string git_sha;
   std::string build_type;
   std::string fiber_backend;
+  // Wall-clock provenance (additive to schema v2; older readers ignore the
+  // extra fields/columns). Runners stamp ts_start when the point begins;
+  // empty timestamps/hostname fill with now()/gethostname() at emission.
+  std::string ts_start;  ///< ISO-8601 UTC, point start
+  std::string ts_end;    ///< ISO-8601 UTC, emission time
+  std::string hostname;
+  /// metrics_interval records pto::metrics emitted within this point
+  /// (0 when PTO_METRICS is off).
+  std::uint64_t intervals = 0;
 };
 
 /// Emit `p` in the active format; no-op when stats_format() == kOff.
 void emit_bench_point(const BenchPoint& p);
+
+/// UTC wall clock as ISO-8601 with millisecond precision
+/// ("2026-08-07T12:34:56.789Z"); the BenchPoint / pto::metrics timestamp.
+std::string iso8601_now();
+
+/// Cached gethostname(); "unknown" when unavailable.
+const std::string& host_name();
 
 }  // namespace pto::telemetry

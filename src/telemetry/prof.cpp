@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/defs.h"
+#include "common/warn.h"
 #include "sim/sim.h"
 #include "telemetry/registry.h"
 #include "telemetry/trace.h"
@@ -139,8 +140,8 @@ struct ProfState {
       if (std::strcmp(v, "json") == 0) {
         fmt = Format::kJson;
       } else if (std::strcmp(v, "text") != 0) {
-        std::fprintf(stderr,
-                     "PTO_PROF=%s not recognized (text|json); using text\n", v);
+        warn_once("env.PTO_PROF",
+                  "PTO_PROF=%s not recognized (text|json); using text", v);
       }
       detail::g_on.store(true, std::memory_order_relaxed);
       report_at_exit = true;
@@ -176,14 +177,10 @@ const bool g_env_scanned = [] {
 /// once on an out-of-range id instead of silently aliasing a shared slot.
 ThreadProf& thread_prof(ProfState& ps, unsigned tid) {
   if (PTO_UNLIKELY(tid >= kMaxThreads)) {
-    static bool warned = false;
-    if (!warned) {
-      warned = true;
-      std::fprintf(stderr,
-                   "[pto] warning: prof thread id %u >= kMaxThreads (%u); "
-                   "profile slots are being reused\n",
-                   tid, kMaxThreads);
-    }
+    warn_once("prof.thread_id_overflow",
+              "prof thread id %u >= kMaxThreads (%u); profile slots are "
+              "being reused",
+              tid, kMaxThreads);
     tid %= kMaxThreads;
   }
   if (PTO_UNLIKELY(tid >= ps.threads.size())) {
@@ -624,6 +621,26 @@ SavingsBreakdown derive_savings(const SiteLedger& l) {
   return sv;
 }
 
+LedgerTotals ledger_totals() {
+  ProfState& ps = state();
+  LedgerTotals t;
+  for (const auto& sc : ps.scopes) {
+    for (unsigned c = 0; c < kClassCount; ++c) {
+      t.classed[c] += sc->unattributed[c];
+    }
+    for (const auto& [site, l] : sc->sites) {
+      (void)site;
+      for (unsigned c = 0; c < kClassCount; ++c) {
+        t.classed[c] += l.fast.classed[c] + l.fallback.classed[c];
+      }
+      t.fast_spans += l.fast.count;
+      t.fallback_spans += l.fallback.count;
+      t.retry_waste_cycles += l.retry_waste_cycles;
+    }
+  }
+  return t;
+}
+
 std::vector<ScopeSnapshot> snapshot() {
   ProfState& ps = state();
   std::vector<ScopeSnapshot> out;
@@ -704,8 +721,8 @@ void report_if_enabled() {
       report(os, ps.fmt);
       return;
     }
-    std::fprintf(stderr, "[pto] warning: cannot open PTO_PROF_OUT=%s\n",
-                 ps.out_path.c_str());
+    warn_once("env.PTO_PROF_OUT", "cannot open PTO_PROF_OUT=%s",
+              ps.out_path.c_str());
   }
   report(std::cerr, ps.fmt);
 }

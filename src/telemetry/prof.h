@@ -224,5 +224,24 @@ struct ScopeSnapshot {
 /// Copy of everything accumulated, in scope-creation order.
 std::vector<ScopeSnapshot> snapshot();
 
+/// Cheap monotone roll-up across every scope and site: total classed cycles
+/// (fast + fallback spans + unattributed charges), span counts, and retry
+/// waste. O(scopes × sites), no conflict matrix or hot-line copying — this
+/// is the pto::metrics sampling primitive, called once per interval tick.
+/// Monotone non-decreasing except across an explicit reset() (metrics
+/// re-baselines on shrink).
+struct LedgerTotals {
+  std::uint64_t classed[kClassCount] = {};
+  std::uint64_t fast_spans = 0;
+  std::uint64_t fallback_spans = 0;
+  std::uint64_t retry_waste_cycles = 0;
+  std::uint64_t total_cycles() const {
+    std::uint64_t t = 0;
+    for (auto c : classed) t += c;
+    return t;
+  }
+};
+LedgerTotals ledger_totals();
+
 }  // namespace prof
 }  // namespace pto::telemetry

@@ -7,6 +7,7 @@
 #include <ostream>
 
 #include "check/check.h"
+#include "common/warn.h"
 #include "obs/flight.h"
 #include "obs/obs.h"
 #include "sim/sim.h"
@@ -23,8 +24,11 @@ bool env_set(const char* name) {
 }
 
 bool enabled_from_env() {
+  // PTO_METRICS counts too: the interval stream samples these counters, and
+  // static-init order across translation units means metrics::configure()
+  // cannot reliably flip the gate before this initializer runs.
   return env_set("PTO_TELEMETRY") || env_set("PTO_STATS") ||
-         env_set("PTO_TRACE");
+         env_set("PTO_TRACE") || env_set("PTO_METRICS");
 }
 }  // namespace
 
@@ -71,14 +75,11 @@ SiteShard& Site::shard() {
   thread_local unsigned slot = [] {
     unsigned raw = next_slot.fetch_add(1, std::memory_order_relaxed);
     if (PTO_UNLIKELY(raw >= kMaxThreads)) {
-      static std::atomic<bool> warned{false};
-      if (!warned.exchange(true, std::memory_order_relaxed)) {
-        std::fprintf(stderr,
-                     "[pto] warning: more than %u live threads; telemetry "
-                     "shard slots are being reused (counters stay correct, "
-                     "per-thread attribution aliases)\n",
-                     kMaxThreads);
-      }
+      warn_once("registry.slot_overflow",
+                "more than %u live threads; telemetry shard slots are being "
+                "reused (counters stay correct, per-thread attribution "
+                "aliases)",
+                kMaxThreads);
     }
     return raw % kMaxThreads;
   }();

@@ -388,4 +388,65 @@ TEST(Emit, HostileNamesDoNotShiftV2Columns) {
   EXPECT_EQ(row[static_cast<std::size_t>(col)], "400");
 }
 
+TEST(Emit, ProvenanceTimestampsRoundTrip) {
+  BenchPoint p = sample_point();
+  p.ts_start = "2026-08-07T12:00:00.000Z";
+  p.ts_end = "2026-08-07T12:00:01.500Z";
+  p.hostname = "bench-host-1";
+  p.intervals = 17;
+
+  {
+    Capture cap(StatsFormat::kJson);
+    telemetry::emit_bench_point(p);
+    testjson::Value v;
+    ASSERT_TRUE(testjson::parse(cap.os.str(), &v));
+    EXPECT_EQ(v.find("ts_start")->str(), "2026-08-07T12:00:00.000Z");
+    EXPECT_EQ(v.find("ts_end")->str(), "2026-08-07T12:00:01.500Z");
+    EXPECT_EQ(v.find("hostname")->str(), "bench-host-1");
+    EXPECT_EQ(static_cast<std::uint64_t>(v.find("intervals")->num()), 17u);
+    // The additions are backward-compatible: schema_version stays 2.
+    EXPECT_EQ(static_cast<unsigned>(v.find("schema_version")->num()), 2u);
+  }
+  {
+    Capture cap(StatsFormat::kCsv);
+    telemetry::emit_bench_point(p);
+    auto lines = split_lines(cap.os.str());
+    ASSERT_EQ(lines.size(), 2u);
+    auto header = split_csv(lines[0]);
+    auto row = split_csv(lines[1]);
+    ASSERT_EQ(row.size(), header.size());
+    struct {
+      const char* col;
+      const char* want;
+    } cells[] = {
+        {"ts_start", "2026-08-07T12:00:00.000Z"},
+        {"ts_end", "2026-08-07T12:00:01.500Z"},
+        {"hostname", "bench-host-1"},
+        {"intervals", "17"},
+    };
+    for (const auto& c : cells) {
+      const int col = field_index(header, c.col);
+      ASSERT_GE(col, 0) << c.col;
+      EXPECT_EQ(row[static_cast<std::size_t>(col)], c.want) << c.col;
+    }
+  }
+}
+
+TEST(Emit, ProvenanceDefaultsFilledAtEmitTime) {
+  // A point the runner never stamped still emits usable provenance: both
+  // timestamps default to "now" and hostname to the machine name.
+  Capture cap(StatsFormat::kJson);
+  telemetry::emit_bench_point(sample_point());
+  testjson::Value v;
+  ASSERT_TRUE(testjson::parse(cap.os.str(), &v));
+  const std::string ts = v.find("ts_start")->str();
+  EXPECT_EQ(ts.size(), 24u) << ts;  // 2026-08-07T12:00:00.000Z
+  EXPECT_EQ(ts[4], '-');
+  EXPECT_EQ(ts[10], 'T');
+  EXPECT_EQ(ts.back(), 'Z');
+  EXPECT_FALSE(v.find("ts_end")->str().empty());
+  EXPECT_FALSE(v.find("hostname")->str().empty());
+  EXPECT_EQ(static_cast<std::uint64_t>(v.find("intervals")->num()), 0u);
+}
+
 }  // namespace

@@ -1,0 +1,268 @@
+#!/usr/bin/env python3
+"""Validate a pto::metrics NDJSON stream (and optional Prometheus file).
+
+Structural gate for CI: every record must parse, carry the right fields for
+its type, and the stream-level invariants must hold —
+
+  * the first record is metrics_meta (schema 1) and the last metrics_flush;
+  * seq increases by exactly 1 across all records;
+  * wall-mode intervals tile time: each t0_ms equals the previous t1_ms and
+    t1_ms > t0_ms; sim-mode intervals are monotone in (run, vt0, vt1);
+  * every counter delta is a nonnegative integer, aborts_total equals the
+    sum of its per-cause breakdown, and fallback_rate lies in [0, 1];
+  * obs quantiles are monotone (p50 <= p90 <= p99 <= p999 <= max);
+  * metrics_flush.intervals equals the number of interval records seen and
+    .violations equals the number of watch records.
+
+Usage:
+  check_metrics.py STREAM.ndjson [--prom FILE] [--min-intervals N]
+
+Exit status: 0 clean, 1 on any violation (all violations are listed).
+"""
+
+import argparse
+import json
+import sys
+
+WATCH_RULES = {"fallback_rate", "abort_storm", "reclaim_backlog"}
+ABORT_CAUSES = ["conflict", "capacity", "explicit", "duration", "spurious",
+                "other"]
+
+
+class Checker:
+    def __init__(self):
+        self.errors = []
+
+    def err(self, line_no, msg):
+        self.errors.append(f"line {line_no}: {msg}")
+
+    def expect(self, cond, line_no, msg):
+        if not cond:
+            self.err(line_no, msg)
+        return cond
+
+
+def is_uint(v):
+    return isinstance(v, int) and not isinstance(v, bool) and v >= 0
+
+
+def is_num(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def check_prefix(c, n, p):
+    if not c.expect(isinstance(p, dict), n, "prefix is not an object"):
+        return
+    for k in ("attempts", "commits", "fallbacks", "aborts_total"):
+        c.expect(is_uint(p.get(k)), n, f"prefix.{k} not a nonneg integer")
+    ab = p.get("aborts")
+    if c.expect(isinstance(ab, dict), n, "prefix.aborts missing"):
+        for cause in ABORT_CAUSES:
+            c.expect(is_uint(ab.get(cause)), n,
+                     f"prefix.aborts.{cause} not a nonneg integer")
+        total = sum(v for v in ab.values() if is_uint(v))
+        c.expect(total == p.get("aborts_total"), n,
+                 f"aborts_total {p.get('aborts_total')} != per-cause sum "
+                 f"{total}")
+
+
+def check_obs(c, n, o):
+    for k in ("samples", "p50_ns", "p90_ns", "p99_ns", "p999_ns", "max_ns"):
+        c.expect(is_uint(o.get(k)), n, f"obs.{k} not a nonneg integer")
+    q = [o.get(k, 0) for k in ("p50_ns", "p90_ns", "p99_ns", "p999_ns",
+                               "max_ns")]
+    if all(is_uint(v) for v in q):
+        c.expect(q == sorted(q), n, f"obs quantiles not monotone: {q}")
+
+
+def check_interval(c, n, r, prev_wall_t1, prev_sim):
+    mode = r.get("mode")
+    if not c.expect(mode in ("wall", "sim"), n, f"bad mode {mode!r}"):
+        return prev_wall_t1, prev_sim
+    if mode == "wall":
+        t0, t1 = r.get("t0_ms"), r.get("t1_ms")
+        c.expect(is_num(t0) and is_num(t1), n, "t0_ms/t1_ms not numeric")
+        if is_num(t0) and is_num(t1):
+            c.expect(t1 > t0 >= 0, n, f"wall interval not forward: "
+                     f"[{t0}, {t1}]")
+            if prev_wall_t1 is not None:
+                c.expect(abs(t0 - prev_wall_t1) < 1e-9, n,
+                         f"wall intervals do not tile: t0 {t0} != "
+                         f"previous t1 {prev_wall_t1}")
+            prev_wall_t1 = t1
+    else:
+        run, v0, v1 = r.get("run"), r.get("vt0"), r.get("vt1")
+        c.expect(is_uint(run) and is_uint(v0) and is_uint(v1), n,
+                 "run/vt0/vt1 not nonneg integers")
+        if is_uint(run) and is_uint(v0) and is_uint(v1):
+            c.expect(v1 >= v0, n, f"sim interval backwards: vt [{v0},{v1}]")
+            prun, pv1 = prev_sim
+            if prun is not None:
+                c.expect(run >= prun, n, f"run id went backwards "
+                         f"{prun}->{run}")
+                if run == prun:
+                    c.expect(v0 == pv1, n, f"sim intervals do not tile "
+                             f"within run {run}: vt0 {v0} != prev vt1 {pv1}")
+            prev_sim = (run, v1)
+    c.expect(is_uint(r.get("threads")), n, "threads not a nonneg integer")
+    check_prefix(c, n, r.get("prefix"))
+    fr = r.get("fallback_rate")
+    c.expect(is_num(fr) and 0.0 <= fr <= 1.0, n,
+             f"fallback_rate {fr!r} outside [0, 1]")
+    sites = r.get("sites")
+    if c.expect(isinstance(sites, list), n, "sites not a list"):
+        for s in sites:
+            c.expect(isinstance(s.get("site"), str) and s["site"] != "", n,
+                     "site entry without a name")
+            for k in ("attempts", "commits", "fallbacks", "aborts_total"):
+                c.expect(is_uint(s.get(k)), n,
+                         f"site {s.get('site')!r} {k} not a nonneg integer")
+    if "obs" in r:
+        check_obs(c, n, r["obs"])
+    if "prof" in r:
+        for k, v in r["prof"].items():
+            c.expect(is_uint(v), n, f"prof.{k} not a nonneg integer")
+    c.expect(is_uint(r.get("reclaim_backlog", 0)) or
+             isinstance(r.get("reclaim_backlog"), int), n,
+             "reclaim_backlog not an integer")
+    return prev_wall_t1, prev_sim
+
+
+def check_stream(lines):
+    c = Checker()
+    records = []
+    for i, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            r = json.loads(line)
+        except json.JSONDecodeError as e:
+            c.err(i, f"not valid JSON: {e}")
+            continue
+        records.append((i, r))
+
+    if not records:
+        c.err(0, "empty stream")
+        return c, 0, 0
+
+    n0, first = records[0]
+    c.expect(first.get("type") == "metrics_meta", n0,
+             f"first record is {first.get('type')!r}, want metrics_meta")
+    c.expect(first.get("schema") == 1, n0, "meta schema != 1")
+    c.expect(is_num(first.get("interval_ms")) and first["interval_ms"] > 0,
+             n0, "meta interval_ms not positive")
+
+    nl, last = records[-1]
+    c.expect(last.get("type") == "metrics_flush", nl,
+             f"last record is {last.get('type')!r}, want metrics_flush")
+
+    seq = 0
+    intervals = 0
+    watches = 0
+    prev_wall_t1 = None
+    prev_sim = (None, None)
+    for n, r in records[1:]:
+        c.expect(r.get("schema") == 1, n, "schema != 1")
+        got = r.get("seq")
+        c.expect(got == seq + 1, n, f"seq {got} not contiguous (want "
+                 f"{seq + 1})")
+        seq = got if is_uint(got) else seq + 1
+        t = r.get("type")
+        if t == "metrics_interval":
+            intervals += 1
+            prev_wall_t1, prev_sim = check_interval(c, n, r, prev_wall_t1,
+                                                    prev_sim)
+        elif t == "watch":
+            watches += 1
+            c.expect(r.get("rule") in WATCH_RULES, n,
+                     f"unknown watch rule {r.get('rule')!r}")
+            c.expect(is_num(r.get("value")) and is_num(r.get("threshold")),
+                     n, "watch value/threshold not numeric")
+        elif t == "warning":
+            c.expect(isinstance(r.get("key"), str), n, "warning without key")
+            c.expect(isinstance(r.get("msg"), str), n, "warning without msg")
+        elif t == "metrics_flush":
+            c.expect((n, r) == records[-1], n,
+                     "metrics_flush before end of stream")
+            c.expect(r.get("intervals") == intervals, n,
+                     f"flush.intervals {r.get('intervals')} != counted "
+                     f"{intervals}")
+            c.expect(r.get("violations") == watches, n,
+                     f"flush.violations {r.get('violations')} != watch "
+                     f"records {watches}")
+        else:
+            c.err(n, f"unknown record type {t!r}")
+    return c, intervals, watches
+
+
+def check_prom(path, c):
+    try:
+        with open(path) as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        c.err(0, f"prom: cannot read {path}: {e}")
+        return
+    families = 0
+    samples = 0
+    for i, line in enumerate(lines, start=1):
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            families += 1
+            continue
+        if line.startswith("#"):
+            continue
+        parts = line.rsplit(" ", 1)
+        if len(parts) != 2:
+            c.err(i, f"prom: unparseable sample line {line!r}")
+            continue
+        name, value = parts
+        try:
+            v = float(value)
+        except ValueError:
+            c.err(i, f"prom: non-numeric value {value!r}")
+            continue
+        samples += 1
+        if "_total" in name and v < 0:
+            c.err(i, f"prom: negative counter {line!r}")
+        if "{" in name and not name.endswith("}"):
+            c.err(i, f"prom: malformed labels in {name!r}")
+    if families == 0:
+        c.err(0, "prom: no # TYPE families found")
+    if samples == 0:
+        c.err(0, "prom: no samples found")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("stream", help="NDJSON metrics stream to validate")
+    ap.add_argument("--prom", metavar="FILE", default=None,
+                    help="also validate a Prometheus text-exposition file")
+    ap.add_argument("--min-intervals", type=int, metavar="N", default=1,
+                    help="require at least N interval records (default 1)")
+    args = ap.parse_args()
+
+    with open(args.stream) as f:
+        lines = f.readlines()
+    c, intervals, watches = check_stream(lines)
+    if intervals < args.min_intervals:
+        c.err(0, f"only {intervals} interval records, want >= "
+              f"{args.min_intervals}")
+    if args.prom:
+        check_prom(args.prom, c)
+
+    if c.errors:
+        for e in c.errors:
+            print(f"check_metrics: {e}", file=sys.stderr)
+        print(f"check_metrics: FAIL ({len(c.errors)} violations, "
+              f"{intervals} intervals, {watches} watch events)",
+              file=sys.stderr)
+        return 1
+    print(f"check_metrics: OK ({intervals} intervals, {watches} watch "
+          f"events)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,6 +14,8 @@ event.
 
 Usage:
   pto_flight.py [FILE] [--timeline N]     # FILE defaults to pto_flight.bin
+  pto_flight.py FILE --since 500          # only events in the last 500us
+  pto_flight.py FILE --last 100 --csv     # newest 100 events as CSV
 """
 
 import argparse
@@ -147,13 +149,43 @@ def print_summary(dump):
         print(f"  {site}: {parts}")
 
 
-def print_timeline(dump, n):
+def window_records(dump, since_us=None, last=None):
+    """Merge all rings by timestamp and trim to a window.
+
+    `since_us` keeps only events within that many microseconds of the newest
+    event across all threads (inclusive at the boundary); `last` then keeps
+    the newest N of those. Both default to "no trimming". Pure function of
+    the parsed dump — unit-tested against a synthetic fixture.
+    """
     events = []
     for ring in dump["rings"]:
         for rec in ring["records"]:
             events.append((rec["tsc"], ring["thread"], rec))
     events.sort(key=lambda e: e[0])
-    events = events[-n:]
+    if since_us is not None and events:
+        hz = dump["tsc_hz"] or 10**9
+        cutoff = events[-1][0] - int(since_us * hz / 1e6)
+        events = [e for e in events if e[0] >= cutoff]
+    if last is not None:
+        events = events[len(events) - last:] if last < len(events) else events
+    return events
+
+
+def print_csv(dump, events, out=sys.stdout):
+    out.write("rel_us,thread,site,event,cause,malformed\n")
+    t_end = events[-1][0] if events else 0
+    hz = dump["tsc_hz"] or 10**9
+    for tsc, thread, rec in events:
+        rel_us = (t_end - tsc) / hz * 1e6
+        ev = EVENT_NAMES.get(rec["event"], f"ev{rec['event']}")
+        cause = CAUSE_NAMES.get(rec["arg"], "") if rec["event"] == 3 else ""
+        bad = rec["malformed"] or ""
+        out.write(f"{rel_us:.3f},{thread},{site_name(dump, rec['site'])},"
+                  f"{ev},{cause},{bad}\n")
+
+
+def print_timeline(dump, n):
+    events = window_records(dump, last=n)
     if not events:
         print("timeline: (no records)")
         return
@@ -177,6 +209,14 @@ def main():
                     help="flight dump (default pto_flight.bin)")
     ap.add_argument("--timeline", type=int, metavar="N", default=0,
                     help="also print the last N events across threads")
+    ap.add_argument("--since", type=float, metavar="US", default=None,
+                    help="restrict to events within US microseconds of the "
+                         "newest event")
+    ap.add_argument("--last", type=int, metavar="N", default=None,
+                    help="restrict to the newest N events (after --since)")
+    ap.add_argument("--csv", action="store_true",
+                    help="emit the selected window as CSV instead of the "
+                         "summary")
     args = ap.parse_args()
 
     with open(args.file, "rb") as f:
@@ -186,7 +226,16 @@ def main():
     except (Truncated, ValueError) as e:
         raise SystemExit(f"error: {e}")
 
+    if args.csv:
+        print_csv(dump, window_records(dump, args.since, args.last))
+        return 0
+
     print_summary(dump)
+    if args.since is not None or args.last is not None:
+        n = len(window_records(dump, args.since, args.last))
+        print()
+        print(f"window: {n} events selected "
+              f"(--since {args.since} --last {args.last})")
     if args.timeline:
         print()
         print_timeline(dump, args.timeline)

@@ -1,0 +1,213 @@
+#!/usr/bin/env python3
+"""Live top-like view of a pto::metrics NDJSON stream.
+
+Follows the stream file (the default PTO_METRICS_OUT name when no argument
+is given), redrawing once per new interval: a header with the run mode and
+bench point, headline rates with sparkline history, the watchdog state, and
+a per-site table sorted by attempts in the latest interval.
+
+Usage:
+  pto_top.py [STREAM.ndjson] [--once] [--history N] [--interval S]
+
+  --once       render the current end of the stream and exit (no follow);
+               also the mode to use in scripts/CI.
+  --history N  sparkline width in intervals (default 32)
+  --interval S poll period while following, seconds (default 0.25)
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+SPARKS = "▁▂▃▄▅▆▇█"  # one to full
+
+
+def spark(values, width):
+    vals = list(values)[-width:]
+    if not vals:
+        return ""
+    top = max(vals)
+    if top <= 0:
+        return SPARKS[0] * len(vals)
+    out = []
+    for v in vals:
+        idx = int(v / top * (len(SPARKS) - 1) + 0.5)
+        out.append(SPARKS[max(0, min(idx, len(SPARKS) - 1))])
+    return "".join(out)
+
+
+class View:
+    def __init__(self, history):
+        self.history = history
+        self.meta = None
+        self.last = None
+        self.watch = []          # most recent watch events
+        self.warnings = []
+        self.flush = None
+        self.commits = []        # per-interval history
+        self.aborts = []
+        self.fallbacks = []
+        self.intervals = 0
+
+    def feed(self, rec):
+        t = rec.get("type")
+        if t == "metrics_meta":
+            # A new meta means the producer re-armed; start over.
+            self.__init__(self.history)
+            self.meta = rec
+        elif t == "metrics_interval":
+            self.last = rec
+            self.intervals += 1
+            p = rec.get("prefix", {})
+            self.commits.append(p.get("commits", 0))
+            self.aborts.append(p.get("aborts_total", 0))
+            self.fallbacks.append(p.get("fallbacks", 0))
+            del self.commits[:-self.history]
+            del self.aborts[:-self.history]
+            del self.fallbacks[:-self.history]
+        elif t == "watch":
+            self.watch.append(rec)
+            del self.watch[:-5]
+        elif t == "warning":
+            self.warnings.append(rec)
+            del self.warnings[:-5]
+        elif t == "metrics_flush":
+            self.flush = rec
+
+    def span_label(self, r):
+        if r.get("mode") == "sim":
+            return (f"sim run {r.get('run')} "
+                    f"vt [{r.get('vt0')}, {r.get('vt1')}] cyc")
+        return f"wall [{r.get('t0_ms', 0):.1f}, {r.get('t1_ms', 0):.1f}] ms"
+
+    def render(self, out=sys.stdout):
+        lines = []
+        if self.meta:
+            lines.append(
+                f"pto_top — {self.meta.get('hostname', '?')} "
+                f"sha {self.meta.get('git_sha', '?')} "
+                f"interval {self.meta.get('interval_ms', '?')}ms "
+                f"({self.intervals} intervals)")
+        r = self.last
+        if r is None:
+            lines.append("(no intervals yet)")
+        else:
+            point = r.get("bench") or "(unlabeled)"
+            if r.get("series"):
+                point += f"/{r['series']}"
+            lines.append(f"point: {point}  threads {r.get('threads', '?')}  "
+                         f"{self.span_label(r)}")
+            p = r.get("prefix", {})
+            w = self.history
+            lines.append(f"  commits   {p.get('commits', 0):>10}  "
+                         f"{spark(self.commits, w)}")
+            lines.append(f"  aborts    {p.get('aborts_total', 0):>10}  "
+                         f"{spark(self.aborts, w)}")
+            lines.append(f"  fallbacks {p.get('fallbacks', 0):>10}  "
+                         f"rate {r.get('fallback_rate', 0):.4f}  "
+                         f"{spark(self.fallbacks, w)}")
+            if "obs" in r:
+                o = r["obs"]
+                lines.append(f"  latency   p50 {o.get('p50_ns', 0)}ns  "
+                             f"p99 {o.get('p99_ns', 0)}ns  "
+                             f"max {o.get('max_ns', 0)}ns  "
+                             f"({o.get('samples', 0)} samples)")
+            if r.get("reclaim_backlog"):
+                lines.append(f"  reclaim backlog {r['reclaim_backlog']}")
+            sites = sorted(r.get("sites", []),
+                           key=lambda s: s.get("attempts", 0), reverse=True)
+            if sites:
+                lines.append("  site                        attempts"
+                             "   commits  fallbacks    aborts")
+                for s in sites[:10]:
+                    lines.append(
+                        f"  {s.get('site', '?'):<26}"
+                        f"{s.get('attempts', 0):>10}"
+                        f"{s.get('commits', 0):>10}"
+                        f"{s.get('fallbacks', 0):>11}"
+                        f"{s.get('aborts_total', 0):>10}")
+        for w in self.watch[-3:]:
+            lines.append(f"  WATCH {w.get('rule')}: {w.get('value'):.3g} > "
+                         f"{w.get('threshold'):.3g}")
+        for w in self.warnings[-3:]:
+            lines.append(f"  warning[{w.get('key')}]: {w.get('msg')}")
+        if self.flush:
+            lines.append(f"stream closed: {self.flush.get('intervals')} "
+                         f"intervals, {self.flush.get('violations')} "
+                         f"violations")
+        out.write("\n".join(lines) + "\n")
+
+
+def follow(path, view, poll_s, out=sys.stdout):
+    """Tail the stream, redrawing the screen on every new record batch."""
+    pos = 0
+    buf = ""
+    while True:
+        try:
+            size = os.path.getsize(path)
+        except OSError:
+            time.sleep(poll_s)
+            continue
+        if size < pos:  # truncated / rewritten: start over
+            pos = 0
+            buf = ""
+        new = False
+        if size > pos:
+            with open(path) as f:
+                f.seek(pos)
+                buf += f.read()
+                pos = f.tell()
+            while "\n" in buf:
+                line, buf = buf.split("\n", 1)
+                if line.strip():
+                    try:
+                        view.feed(json.loads(line))
+                        new = True
+                    except json.JSONDecodeError:
+                        pass  # partial write; next poll completes it
+        if new:
+            out.write("\x1b[2J\x1b[H")  # clear + home
+            view.render(out)
+            out.flush()
+        if view.flush is not None:
+            return
+        time.sleep(poll_s)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("stream", nargs="?", default="pto_metrics.ndjson",
+                    help="NDJSON stream (default pto_metrics.ndjson)")
+    ap.add_argument("--once", action="store_true",
+                    help="render current state and exit")
+    ap.add_argument("--history", type=int, default=32, metavar="N",
+                    help="sparkline width in intervals (default 32)")
+    ap.add_argument("--interval", type=float, default=0.25, metavar="S",
+                    help="poll period in seconds while following")
+    args = ap.parse_args()
+
+    view = View(max(1, args.history))
+    if args.once:
+        try:
+            with open(args.stream) as f:
+                for line in f:
+                    if line.strip():
+                        try:
+                            view.feed(json.loads(line))
+                        except json.JSONDecodeError:
+                            pass
+        except OSError as e:
+            raise SystemExit(f"error: {e}")
+        view.render()
+        return 0
+    try:
+        follow(args.stream, view, max(0.01, args.interval))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

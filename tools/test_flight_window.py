@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Unit test for pto_flight.py window math against a synthetic dump.
+
+Builds a well-formed PTOFLT01 image in memory (format: src/obs/flight.h)
+with a known event spacing, then checks window_records() boundary behavior:
+--since inclusivity at the cutoff tick, --last trimming, their composition,
+and CSV emission. Run directly or via ctest (flight_window).
+"""
+
+import io
+import struct
+import sys
+
+sys.path.insert(0, __import__("os").path.dirname(__file__))
+import pto_flight  # noqa: E402
+
+MAGIC = b"PTOFLT01"
+TSC_HZ = 1_000_000_000  # 1 GHz: 1 tick == 1 ns, 1000 ticks == 1 us
+
+
+def build_dump():
+    """Two threads, one site; events at t = 0us, 1us, ..., 9us.
+
+    Even microseconds land on thread 0, odd on thread 1, so the merged
+    timeline interleaves the rings.
+    """
+    out = bytearray()
+    out += MAGIC
+    out += struct.pack("<I", 1)        # version
+    out += struct.pack("<Q", TSC_HZ)
+    out += struct.pack("<I", 1)        # nsites
+    name = b"synthetic.site"
+    out += struct.pack("<I", len(name)) + name
+    out += struct.pack("<I", 2)        # nrings
+    for thread in (0, 1):
+        ticks = [us * 1000 for us in range(10) if us % 2 == thread]
+        out += struct.pack("<I", thread)
+        out += struct.pack("<Q", len(ticks))  # total == kept (no overwrite)
+        out += struct.pack("<I", len(ticks))
+        for t in ticks:
+            # event 2 == commit, arg unused
+            out += struct.pack("<QHBBI", t, 0, 2, 0, 0)
+    return bytes(out)
+
+
+def check(cond, msg):
+    if not cond:
+        raise SystemExit(f"FAIL: {msg}")
+
+
+def main():
+    dump = pto_flight.parse(build_dump())
+    check(len(dump["rings"]) == 2, "two rings parsed")
+    check(dump["sites"] == ["synthetic.site"], "site table parsed")
+
+    allev = pto_flight.window_records(dump)
+    check(len(allev) == 10, f"no-trim keeps all 10 events, got {len(allev)}")
+    check([e[0] for e in allev] == sorted(e[0] for e in allev),
+          "merged window is sorted by tsc")
+
+    # Newest event is at 9us. --since 3 keeps events with tsc >= 6000:
+    # 6us, 7us, 8us, 9us — the cutoff tick itself is included.
+    w = pto_flight.window_records(dump, since_us=3)
+    check([e[0] for e in w] == [6000, 7000, 8000, 9000],
+          f"--since 3us window, got {[e[0] for e in w]}")
+
+    # since=0 degenerates to exactly the newest event.
+    w = pto_flight.window_records(dump, since_us=0)
+    check([e[0] for e in w] == [9000], "--since 0 keeps only the newest")
+
+    w = pto_flight.window_records(dump, last=3)
+    check([e[0] for e in w] == [7000, 8000, 9000], "--last 3 trims oldest")
+
+    w = pto_flight.window_records(dump, last=99)
+    check(len(w) == 10, "--last larger than the dump keeps everything")
+
+    # Composition: --since first, then --last within the survivors.
+    w = pto_flight.window_records(dump, since_us=5, last=2)
+    check([e[0] for e in w] == [8000, 9000], "--since then --last compose")
+
+    # Threads interleave in the merged view (even us -> t0, odd -> t1).
+    w = pto_flight.window_records(dump, since_us=3)
+    check([e[1] for e in w] == [0, 1, 0, 1], "threads interleave by tsc")
+
+    buf = io.StringIO()
+    pto_flight.print_csv(dump, pto_flight.window_records(dump, last=2),
+                         out=buf)
+    lines = buf.getvalue().strip().splitlines()
+    check(lines[0] == "rel_us,thread,site,event,cause,malformed",
+          "csv header")
+    check(len(lines) == 3, "csv emits header + 2 rows")
+    check(lines[2].startswith("0.000,1,synthetic.site,commit"),
+          f"newest row is relative time zero, got {lines[2]}")
+    check(lines[1].startswith("1.000,0,synthetic.site,commit"),
+          f"older row is 1us before end, got {lines[1]}")
+
+    print("flight window: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
