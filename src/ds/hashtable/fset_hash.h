@@ -259,6 +259,8 @@ class FSetHash {
     std::uint64_t w = t->buckets()[i].load();
     if (w != 0) return w;
     Table* p = t->pred.load();
+    // pto-lint: bounded(pred chain; migration unlinks tables, so the chain
+    // only ever holds the constant number of unmigrated predecessors)
     while (p != nullptr) {
       std::uint64_t wp = p->buckets()[i & (p->len - 1)].load();
       if (wp != 0) return wp;

@@ -198,6 +198,7 @@ class HarrisList {
 
   bool contains_walk(std::int64_t key) {
     Node* curr = ptr(head_->next.load());
+    // pto-lint: bounded(sorted traversal; the tail sentinel key is +inf)
     while (curr->key < key) {
       curr = ptr(curr->next.load());
     }

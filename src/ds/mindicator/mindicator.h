@@ -266,6 +266,7 @@ class Mindicator {
   void sequential_arrive(unsigned leaf, std::int32_t v) {
     unsigned i = leaf_index(leaf);
     node(i).store(pack(0, v), std::memory_order_relaxed);
+    // pto-lint: bounded(log2 leaves; i halves every iteration)
     while (i > 1) {
       i >>= 1;
       std::uint64_t w = node(i).load(std::memory_order_relaxed);
@@ -278,6 +279,7 @@ class Mindicator {
   void sequential_depart(unsigned leaf) {
     unsigned i = leaf_index(leaf);
     node(i).store(pack(0, kEmpty), std::memory_order_relaxed);
+    // pto-lint: bounded(log2 leaves; i halves every iteration)
     while (i > 1) {
       i >>= 1;
       std::int32_t l = val(node(2 * i).load(std::memory_order_relaxed));

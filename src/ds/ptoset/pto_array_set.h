@@ -149,6 +149,7 @@ class PTOArraySet {
   int search(Block* b, std::int64_t key) {
     int lo = 0;
     int hi = static_cast<int>(b->size.load(std::memory_order_relaxed)) - 1;
+    // pto-lint: bounded(log2 Capacity; binary search halves [lo, hi])
     while (lo <= hi) {
       int mid = (lo + hi) / 2;
       std::int64_t k = b->keys[mid].load(std::memory_order_relaxed);

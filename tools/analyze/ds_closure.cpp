@@ -1,0 +1,48 @@
+// Translation unit that instantiates every shipped data structure with the
+// simulator platform, compiled unconditionally into the (never-run) static
+// closure library.
+//
+// pto-analyze works from build/compile_commands.json, and templates only
+// show up in an AST where some TU instantiates them. The regular test
+// binaries do instantiate everything, but which TU instantiates what is an
+// accident of test layout; this file pins a single, stable TU whose job is
+// to materialize all `prefix<P>(...)` fast/fallback bodies under
+// SimPlatform so the analyzer (and the CI static-analysis gate) sees every
+// site regardless of how the test suite evolves. Adding a data structure?
+// Add its header and explicit instantiation here, or the analyzer's
+// site-count cross-check against pto_lint.py will fail the build.
+#include "ds/bst/ellen_bst.h"
+#include "ds/hashtable/fset_hash.h"
+#include "ds/list/harris_list.h"
+#include "ds/mindicator/mindicator.h"
+#include "ds/mound/mound.h"
+#include "ds/ptoset/pto_array_set.h"
+#include "ds/queue/ms_queue.h"
+#include "ds/skiplist/skiplist.h"
+#include "ds/skiplist/skipqueue.h"
+#include "ds/tle/tle.h"
+#include "platform/sim_platform.h"
+
+namespace {
+
+// TLE<P, Seq>::execute is a member template; explicit class instantiation
+// below does not materialize it. One concrete call pins its prefix site
+// (tle.execute) into this TU's AST. Never executed.
+[[maybe_unused]] bool materialize_tle_execute(
+    pto::TLE<pto::SimPlatform, pto::SeqHashSet<pto::SimPlatform>>& t) {
+  return t.execute(
+      [](pto::SeqHashSet<pto::SimPlatform>& s) { return s.insert(1); });
+}
+
+}  // namespace
+
+template class pto::EllenBST<pto::SimPlatform>;
+template class pto::FSetHash<pto::SimPlatform>;
+template class pto::HarrisList<pto::SimPlatform>;
+template class pto::Mindicator<pto::SimPlatform>;
+template class pto::Mound<pto::SimPlatform>;
+template class pto::PTOArraySet<pto::SimPlatform>;
+template class pto::MSQueue<pto::SimPlatform>;
+template class pto::SkipList<pto::SimPlatform>;
+template class pto::SkipQueue<pto::SimPlatform>;
+template class pto::SeqHashSet<pto::SimPlatform>;

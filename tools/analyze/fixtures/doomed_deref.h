@@ -1,0 +1,64 @@
+// pto-analyze seeded-defect fixture: DOOMED POINTER DEREFERENCED WITHOUT
+// REVALIDATION.
+//
+// Inside a best-effort transaction a pointer loaded from shared state stays
+// self-consistent -- any racing writer aborts us. The hazard is the
+// *fallback-shaped* idiom in a fast body under SoftHTM's lazy conflict
+// detection, and in the slow path proper: after a SECOND shared load, the
+// first pointer may belong to a node that was unlinked (and, without safe
+// reclamation, freed) between the two loads. Dereferencing it afterwards
+// without re-checking it against the structure is a use-after-free window.
+// find_tail() below loads `head_`, then loads `version_` (a second shared
+// location), then walks `cur->next` -- with no revalidation between the
+// staleness point and the dereference. The legal pattern re-loads or
+// re-checks the pointer (see src/ds/queue/ms_queue.h dequeue, whose one
+// intentional instance is carried in tools/analyze/baseline.json with a
+// written rationale).
+//
+// Expected finding: kind=doomed-deref, site=fixture.doomed_deref,
+// subject=cur.
+#pragma once
+
+#include <cstdint>
+
+#include "core/prefix.h"
+#include "platform/platform.h"
+#include "telemetry/registry.h"
+
+namespace pto::analyze_fixture {
+
+template <class P>
+class DoomedWalkList {
+ public:
+  struct Node {
+    std::int64_t key;
+    Atom<P, Node*> next;
+  };
+
+  std::int64_t tail_key() {
+    return prefix<P>(
+        1,
+        [&]() -> std::int64_t { return find_tail(); },
+        [&]() -> std::int64_t { return find_tail(); },
+        PTO_TELEMETRY_SITE("fixture.doomed_deref"));
+  }
+
+ private:
+  std::int64_t find_tail() {
+    Node* cur = head_.load(std::memory_order_acquire);
+    if (cur == nullptr) return -1;
+    // A second shared load: after this, `cur` may point at an unlinked
+    // node. DEFECT: it is dereferenced below without revalidation.
+    std::uint64_t v = version_.load(std::memory_order_acquire);
+    // pto-lint: bounded(traversal)
+    while (cur->next.load(std::memory_order_acquire) != nullptr) {
+      cur = cur->next.load(std::memory_order_acquire);
+    }
+    return cur->key + static_cast<std::int64_t>(v & 1);
+  }
+
+  Atom<P, Node*> head_;
+  Atom<P, std::uint64_t> version_;
+};
+
+}  // namespace pto::analyze_fixture

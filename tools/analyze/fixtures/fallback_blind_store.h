@@ -1,0 +1,73 @@
+// pto-analyze seeded-defect fixture: FALLBACK PUBLISHES WITH A BLIND STORE.
+//
+// The fast body links a new node transactionally -- inside the transaction
+// plain stores are atomic, so `tail->next.store(n)` is correct there. The
+// paired lock-free fallback must publish the same location with a CAS (two
+// fallback enqueues racing in the load/store window would otherwise both
+// see next == nullptr and the second blind store silently drops the first
+// thread's node). This clones the PR 5 seeded MSQueue defect that schedule
+// exploration finds dynamically; pto-analyze's fast/fallback write-set
+// consistency check must catch it statically: field `next` is written
+// transactionally in the fast body and blind-stored through a shared-loaded
+// pointer in the fallback.
+//
+// Expected finding: kind=blind-store, site=fixture.blind_store,
+// subject=next.
+#pragma once
+
+#include <cstdint>
+
+#include "core/prefix.h"
+#include "platform/platform.h"
+#include "telemetry/registry.h"
+
+namespace pto::analyze_fixture {
+
+template <class P>
+class BlindStoreQueue {
+ public:
+  struct Node {
+    std::int64_t value;
+    Atom<P, Node*> next;
+  };
+
+  void enqueue(Node* n) {
+    bool done = prefix<P>(
+        1,
+        [&]() -> bool {
+          Node* tail = tail_.load(std::memory_order_relaxed);
+          if (tail->next.load(std::memory_order_relaxed) != nullptr) {
+            P::template tx_abort<TX_CODE_HELPING>();
+          }
+          tail->next.store(n, std::memory_order_relaxed);  // tx: fine
+          tail_.store(n);
+          return true;
+        },
+        [&]() -> bool { return false; },
+        PTO_TELEMETRY_SITE("fixture.blind_store"));
+    if (!done) enqueue_fallback(n);
+  }
+
+ private:
+  void enqueue_fallback(Node* n) {
+    for (;;) {
+      Node* tail = tail_.load();
+      Node* next = tail->next.load();
+      if (next != nullptr) {
+        Node* expect = tail;
+        tail_.compare_exchange_strong(expect, next);
+        continue;
+      }
+      // DEFECT: the link must be a compare_exchange_strong(nullptr, n);
+      // a blind store races with a concurrent fallback enqueue.
+      tail->next.store(n);
+      Node* expect = tail;
+      tail_.compare_exchange_strong(expect, n);
+      return;
+    }
+  }
+
+  Atom<P, Node*> tail_;
+};
+
+}  // namespace pto::analyze_fixture

@@ -1,0 +1,21 @@
+// Translation unit that instantiates every seeded-defect fixture with the
+// simulator platform. It is compiled unconditionally (plain g++/clang++, no
+// LibTooling needed) for two reasons:
+//   1. it keeps the fixtures honest -- they must stay real, compiling C++
+//      against the live prefix/platform API, not pseudo-code;
+//   2. it lands in build/compile_commands.json, which is how pto-analyze
+//      finds and analyzes the fixtures (the `analyze_fixtures` ctest runs
+//      the analyzer over exactly this TU and asserts all four defect
+//      classes are reported).
+// Nothing here ever executes; the explicit instantiation definitions exist
+// only so the template bodies are materialized in the AST.
+#include "fixtures/doomed_deref.h"
+#include "fixtures/fallback_blind_store.h"
+#include "fixtures/helper_alloc.h"
+#include "fixtures/over_capacity_loop.h"
+#include "platform/sim_platform.h"
+
+template class pto::analyze_fixture::HelperAllocSet<pto::SimPlatform>;
+template class pto::analyze_fixture::BlindStoreQueue<pto::SimPlatform>;
+template class pto::analyze_fixture::WideClearTable<pto::SimPlatform>;
+template class pto::analyze_fixture::DoomedWalkList<pto::SimPlatform>;

@@ -1,0 +1,66 @@
+// pto-analyze seeded-defect fixture: ALLOCATION REACHED THROUGH A HELPER.
+//
+// The fast body itself is spotless -- every line pto_lint.py can see is
+// legal. The sin is one call deep: grow_chain() allocates with P::make,
+// which a hardware abort cannot unwind (the tx's stores roll back, the
+// allocator's host-level bookkeeping does not). Only the interprocedural
+// call-graph closure of the fast body can catch this; the token-level lint
+// is blind past the lambda's braces, which is exactly why this fixture
+// exists (ctest `analyze_fixtures` asserts pto-analyze flags it).
+//
+// Expected finding: kind=allocation, site=fixture.helper_alloc,
+// subject=grow_chain (the helper on the path to the allocation).
+#pragma once
+
+#include <cstdint>
+
+#include "core/prefix.h"
+#include "platform/platform.h"
+#include "telemetry/registry.h"
+
+namespace pto::analyze_fixture {
+
+template <class P>
+class HelperAllocSet {
+ public:
+  struct Node {
+    std::int64_t key;
+    Atom<P, Node*> next;
+  };
+
+  bool insert(std::int64_t key) {
+    return prefix<P>(
+        1,
+        [&]() -> bool {
+          Node* head = head_.load(std::memory_order_relaxed);
+          if (head != nullptr && head->key == key) return false;
+          grow_chain(key, head);  // <- allocates, one call deep
+          return true;
+        },
+        [&]() -> bool { return insert_lf(key); },
+        PTO_TELEMETRY_SITE("fixture.helper_alloc"));
+  }
+
+ private:
+  void grow_chain(std::int64_t key, Node* head) {
+    Node* n = P::template make<Node>();  // allocation inside the fast path
+    n->key = key;
+    n->next.init(head);
+    head_.store(n, std::memory_order_relaxed);
+  }
+
+  bool insert_lf(std::int64_t key) {
+    Node* n = P::template make<Node>();
+    n->key = key;
+    for (;;) {
+      Node* head = head_.load();
+      n->next.init(head);
+      Node* expect = head;
+      if (head_.compare_exchange_strong(expect, n)) return true;
+    }
+  }
+
+  Atom<P, Node*> head_;
+};
+
+}  // namespace pto::analyze_fixture

@@ -1,0 +1,63 @@
+// pto-analyze seeded-defect fixture: BOUNDED LOOP THAT OVERFLOWS THE HTM
+// WRITE SET.
+//
+// The loop is annotated and literally bounded, so pto_lint.py's unbounded-
+// loop check is satisfied -- but the *bound itself* is the bug: 128
+// iterations, each dirtying a distinct cache line through touch_slot(),
+// against HtmConfig::max_write_lines = 64 (parsed from src/sim/sim.h at
+// analyzer runtime, never hard-coded). Every attempt of this transaction
+// aborts with TX_ABORT_CAPACITY and the structure silently degenerates to
+// its fallback. pto-analyze's footprint pass multiplies the literal trip
+// count by the lines written per iteration (interprocedurally, through the
+// helper) and flags the product.
+//
+// Expected finding: kind=over-capacity, site=fixture.over_capacity,
+// subject=writes.
+#pragma once
+
+#include <cstdint>
+
+#include "core/prefix.h"
+#include "platform/platform.h"
+#include "telemetry/registry.h"
+
+namespace pto::analyze_fixture {
+
+template <class P>
+class WideClearTable {
+ public:
+  static constexpr int kSlots = 128;  // 128 distinct lines > 64-line HTM cap
+
+  struct Slot {
+    Atom<P, std::int64_t> value;
+    char pad[56];  // one slot per cache line
+  };
+
+  void clear_all() {
+    prefix<P>(
+        1,
+        [&]() -> bool {
+          // pto-lint: bounded(128)
+          for (int i = 0; i < kSlots; ++i) {
+            touch_slot(i);  // one store, one fresh cache line, per iteration
+          }
+          return true;
+        },
+        [&]() -> bool { return clear_lf(); },
+        PTO_TELEMETRY_SITE("fixture.over_capacity"));
+  }
+
+ private:
+  void touch_slot(int i) { slots_[i].value.store(0); }
+
+  bool clear_lf() {
+    for (int i = 0; i < kSlots; ++i) {
+      slots_[i].value.store(0);
+    }
+    return true;
+  }
+
+  Slot slots_[kSlots];
+};
+
+}  // namespace pto::analyze_fixture

@@ -1,0 +1,92 @@
+#include "htm_params.h"
+
+#include <cstddef>
+#include <fstream>
+#include <regex>
+#include <sstream>
+
+namespace pto::analyze {
+
+namespace {
+
+std::uint64_t parse_field(const std::string& body, const std::string& field,
+                          const std::string& path) {
+  // `field = 123;` or `field = 200'000;` (digit separators allowed).
+  std::regex re("\\b" + field + "\\s*=\\s*([0-9][0-9']*)\\s*;");
+  std::smatch m;
+  if (!std::regex_search(body, m, re)) {
+    throw HtmParamsError("field '" + field +
+                         "' with an integer default initializer not found "
+                         "in HtmConfig (" + path + ")");
+  }
+  std::uint64_t v = 0;
+  for (char c : m[1].str()) {
+    if (c == '\'') continue;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return v;
+}
+
+}  // namespace
+
+HtmParams parse_htm_params(const std::string& sim_header_path) {
+  std::ifstream in(sim_header_path);
+  if (!in) {
+    throw HtmParamsError("cannot read " + sim_header_path);
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+
+  std::regex struct_re("struct\\s+HtmConfig\\s*\\{");
+  std::smatch sm;
+  if (!std::regex_search(text, sm, struct_re)) {
+    throw HtmParamsError("struct HtmConfig not found in " + sim_header_path);
+  }
+  // Body: up to the matching close brace (depth scan, matching the python
+  // parser's tolerance for nested braces).
+  std::size_t start = text.find('{', static_cast<std::size_t>(sm.position()));
+  int depth = 0;
+  std::size_t end = std::string::npos;
+  for (std::size_t i = start; i < text.size(); ++i) {
+    if (text[i] == '{') {
+      ++depth;
+    } else if (text[i] == '}') {
+      if (--depth == 0) {
+        end = i;
+        break;
+      }
+    }
+  }
+  if (end == std::string::npos) {
+    throw HtmParamsError("unterminated HtmConfig struct in " +
+                         sim_header_path);
+  }
+  const std::string body = text.substr(start, end - start);
+
+  HtmParams p;
+  p.max_write_lines = parse_field(body, "max_write_lines", sim_header_path);
+  p.max_read_lines = parse_field(body, "max_read_lines", sim_header_path);
+  p.max_duration = parse_field(body, "max_duration", sim_header_path);
+
+  if (p.max_write_lines == 0 || p.max_read_lines == 0) {
+    throw HtmParamsError("HtmConfig capacities must be positive");
+  }
+  if (p.max_write_lines > p.max_read_lines) {
+    throw HtmParamsError(
+        "HtmConfig write capacity exceeds tracked read capacity");
+  }
+  return p;
+}
+
+std::string to_json(const HtmParams& p) {
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"max_duration\": " << p.max_duration << ",\n"
+     << "  \"max_read_lines\": " << p.max_read_lines << ",\n"
+     << "  \"max_write_lines\": " << p.max_write_lines << "\n"
+     << "}";
+  return os.str();
+}
+
+}  // namespace pto::analyze

@@ -1,0 +1,40 @@
+// HtmParams: the C++ twin of tools/htm_params.py.
+//
+// Both pto-analyze and pto_lint.py check static footprint estimates against
+// the simulator's HTM capacity. Those limits live in exactly one place --
+// `struct HtmConfig` in src/sim/sim.h -- and every consumer parses that
+// header at runtime. A parse failure is a hard error (HtmParamsError), never
+// a silent fallback to stale constants; the `htm_params_drift` ctest runs
+// both parsers over the header and fails on any disagreement.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace pto::analyze {
+
+struct HtmParams {
+  std::uint64_t max_write_lines = 0;
+  std::uint64_t max_read_lines = 0;
+  std::uint64_t max_duration = 0;
+};
+
+class HtmParamsError : public std::runtime_error {
+ public:
+  explicit HtmParamsError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Parse HtmConfig's default member initializers out of `sim_header_path`
+/// (normally <repo>/src/sim/sim.h). Throws HtmParamsError when the struct,
+/// a field, or its integer initializer cannot be found, or when the values
+/// are nonsensical (non-positive, write capacity above read capacity) --
+/// mirroring tools/htm_params.py field-for-field.
+HtmParams parse_htm_params(const std::string& sim_header_path);
+
+/// The parameters as a JSON object with sorted keys, matching the shape
+/// `python3 tools/htm_params.py` prints (the drift test compares the two).
+std::string to_json(const HtmParams& p);
+
+}  // namespace pto::analyze

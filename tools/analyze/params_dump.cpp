@@ -1,0 +1,23 @@
+// pto-htm-params-dump: print the HTM capacity parameters parsed from
+// src/sim/sim.h as JSON. Built unconditionally (no clang dependency) so the
+// `htm_params_drift` ctest can compare this parser against
+// tools/htm_params.py even on hosts where pto-analyze itself cannot build.
+#include <cstdio>
+#include <string>
+
+#include "htm_params.h"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s path/to/sim.h\n", argv[0]);
+    return 2;
+  }
+  try {
+    const auto params = pto::analyze::parse_htm_params(argv[1]);
+    std::printf("%s\n", pto::analyze::to_json(params).c_str());
+  } catch (const pto::analyze::HtmParamsError& e) {
+    std::fprintf(stderr, "pto-htm-params-dump: %s\n", e.what());
+    return 2;
+  }
+  return 0;
+}

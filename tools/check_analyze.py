@@ -1,0 +1,246 @@
+#!/usr/bin/env python3
+"""Gate around the pto-analyze LibTooling binary (tools/analyze/).
+
+Two modes, both driven by a configured build directory that contains
+compile_commands.json (CMAKE_EXPORT_COMPILE_COMMANDS is on by default):
+
+  --mode fixtures   Run the analyzer over the seeded-defect fixture TU
+                    (tools/analyze/fixtures/fixtures_tu.cpp) and require the
+                    (kind, site) finding set to be EXACTLY the four defect
+                    classes the fixtures seed. If the analyzer stops seeing
+                    one, it lost a detector; if it reports extra kinds, a
+                    pass regressed into false positives. Fail either way.
+
+  --mode ds         Run the analyzer over the pinned data-structure closure
+                    TU (tools/analyze/ds_closure.cpp), restricted to src/ds,
+                    and
+                      * diff findings against tools/analyze/baseline.json:
+                        unexpected findings are errors, stale baseline
+                        entries are warnings (prune them);
+                      * cross-check per-file prefix-site counts against
+                        tools/pto_lint.py --json. A drifting count means one
+                        of the two extractors went blind to a site.
+
+  --expect ID       (repeatable) require these exact finding IDs to be
+                    present, and treat them as baselined in ds mode. CI's
+                    seeded-defect build (-DPTO_SEEDED_BUGS=ON) uses this to
+                    assert blind-store:queue.enqueue:next is caught without
+                    polluting the clean-tree baseline.
+
+--gh-annotations prints GitHub workflow error annotations for unexpected
+findings next to the human report. Exit: 0 clean, 1 gate failure, 2 tool
+breakage. On failure the raw analyzer JSON is dumped for debugging.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+FIXTURE_TU = os.path.join("tools", "analyze", "fixtures", "fixtures_tu.cpp")
+DS_TU = os.path.join("tools", "analyze", "ds_closure.cpp")
+
+# (kind, site) pairs the fixture TU seeds, one per defect class. Subjects
+# (the third ID component) are deliberately not pinned here: renaming a
+# helper inside a fixture should not break the gate, losing a detector must.
+EXPECTED_FIXTURE_FINDINGS = {
+    ("allocation", "fixture.helper_alloc"),
+    ("blind-store", "fixture.blind_store"),
+    ("over-capacity", "fixture.over_capacity"),
+    ("doomed-deref", "fixture.doomed_deref"),
+}
+
+
+def run_analyzer(analyzer, build, root, tus, restrict):
+    """Run pto-analyze --json over the given TUs; return the parsed doc."""
+    cmd = [
+        analyzer, "-p", build,
+        "--sim-header", os.path.join(root, "src", "sim", "sim.h"),
+        "--root", root, "--json",
+    ]
+    for r in restrict:
+        cmd += ["--restrict", r]
+    cmd += [os.path.join(root, t) for t in tus]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        raise RuntimeError("pto-analyze exited %d: %s"
+                           % (proc.returncode, " ".join(cmd)))
+    try:
+        return json.loads(proc.stdout)
+    except json.JSONDecodeError as e:
+        sys.stderr.write(proc.stdout)
+        raise RuntimeError("pto-analyze emitted unparsable JSON: %s" % e)
+
+
+def run_lint(root):
+    """Run tools/pto_lint.py --json over its default src/ds set."""
+    cmd = [sys.executable, os.path.join(root, "tools", "pto_lint.py"),
+           "--json", "--root", root]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    # Violations give exit 1 but still emit the document; the lint gate
+    # proper is a separate CI step -- here we only need site counts.
+    try:
+        return json.loads(proc.stdout)
+    except json.JSONDecodeError as e:
+        sys.stderr.write(proc.stdout)
+        sys.stderr.write(proc.stderr)
+        raise RuntimeError("pto_lint.py emitted unparsable JSON: %s" % e)
+
+
+def diff_findings(actual_ids, baseline_ids):
+    """Return (unexpected, stale): findings not in the baseline, and
+    baseline entries the analyzer no longer reports."""
+    actual = set(actual_ids)
+    base = set(baseline_ids)
+    return sorted(actual - base), sorted(base - actual)
+
+
+def compare_site_counts(analyzer_counts, lint_counts, prefix="src/ds"):
+    """Compare per-file prefix-site counts for files under `prefix`.
+    Returns a list of human-readable mismatch lines (empty == agree)."""
+    norm = prefix.rstrip("/") + "/"
+    a = {f: n for f, n in analyzer_counts.items() if f.startswith(norm)}
+    l = {f: n for f, n in lint_counts.items() if f.startswith(norm)}
+    out = []
+    for f in sorted(set(a) | set(l)):
+        if a.get(f, 0) != l.get(f, 0):
+            out.append("%s: pto-analyze saw %d prefix site(s), pto_lint.py "
+                       "saw %d" % (f, a.get(f, 0), l.get(f, 0)))
+    return out
+
+
+def load_baseline(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("version") != 1:
+        raise RuntimeError("%s: unsupported baseline version %r"
+                           % (path, doc.get("version")))
+    ids = [e["id"] for e in doc.get("findings", [])]
+    for e in doc.get("findings", []):
+        if not e.get("reason"):
+            raise RuntimeError("%s: baseline entry %r has no reason"
+                               % (path, e.get("id")))
+    return ids
+
+
+def annotate(finding):
+    """One GitHub workflow error annotation for a finding dict."""
+    return ("::error file=%s,line=%d::pto-analyze [%s] %s"
+            % (finding["file"], finding["line"], finding["id"],
+               finding["message"]))
+
+
+def check_fixtures(doc, gh):
+    actual = {(f["kind"], f["site"]) for f in doc["findings"]}
+    missing = EXPECTED_FIXTURE_FINDINGS - actual
+    extra = actual - EXPECTED_FIXTURE_FINDINGS
+    ok = True
+    for kind, site in sorted(missing):
+        print("MISSING: fixture defect not flagged: %s at site %s"
+              % (kind, site))
+        ok = False
+    for kind, site in sorted(extra):
+        print("EXTRA: unexpected fixture finding: %s at site %s"
+              % (kind, site))
+        if gh:
+            for f in doc["findings"]:
+                if (f["kind"], f["site"]) == (kind, site):
+                    print(annotate(f))
+        ok = False
+    if ok:
+        print("check_analyze: fixtures OK -- %d finding(s) over %d site(s), "
+              "all four defect classes flagged"
+              % (len(doc["findings"]), len(doc["sites"])))
+    return ok
+
+
+def check_ds(doc, baseline_ids, lint_doc, gh):
+    ok = True
+    unexpected, stale = diff_findings([f["id"] for f in doc["findings"]],
+                                      baseline_ids)
+    by_id = {f["id"]: f for f in doc["findings"]}
+    for fid in unexpected:
+        f = by_id[fid]
+        print("UNEXPECTED: %s:%d: [%s] %s"
+              % (f["file"], f["line"], fid, f["message"]))
+        if gh:
+            print(annotate(f))
+        ok = False
+    for fid in stale:
+        print("warning: stale baseline entry (no longer reported, prune from "
+              "tools/analyze/baseline.json): %s" % fid)
+
+    mismatches = compare_site_counts(doc["site_counts"],
+                                     lint_doc["site_counts"])
+    for m in mismatches:
+        print("SITE-COUNT MISMATCH: %s" % m)
+        ok = False
+
+    if ok:
+        print("check_analyze: src/ds OK -- %d prefix site(s), %d finding(s) "
+              "all baselined (%d stale), site counts agree with pto_lint.py "
+              "across %d file(s)"
+              % (len(doc["sites"]), len(doc["findings"]), len(stale),
+                 len({f for f in doc["site_counts"]
+                      if f.startswith("src/ds/")})))
+    return ok
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--analyzer", required=True,
+                    help="path to the built pto-analyze binary")
+    ap.add_argument("--build", required=True,
+                    help="build dir containing compile_commands.json")
+    ap.add_argument("--root", default=None,
+                    help="repository root (default: parent of this script)")
+    ap.add_argument("--mode", choices=("fixtures", "ds"), required=True)
+    ap.add_argument("--baseline", default=None,
+                    help="baseline JSON (ds mode; default "
+                         "tools/analyze/baseline.json)")
+    ap.add_argument("--expect", action="append", default=[],
+                    help="require this exact finding ID to be present "
+                         "(repeatable)")
+    ap.add_argument("--gh-annotations", action="store_true",
+                    help="emit GitHub ::error annotations for failures")
+    args = ap.parse_args(argv)
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+
+    try:
+        if args.mode == "fixtures":
+            doc = run_analyzer(args.analyzer, args.build, root,
+                               [FIXTURE_TU], ["tools/analyze/fixtures"])
+            ok = check_fixtures(doc, args.gh_annotations)
+        else:
+            baseline = args.baseline or os.path.join(
+                root, "tools", "analyze", "baseline.json")
+            doc = run_analyzer(args.analyzer, args.build, root,
+                               [DS_TU], ["src/ds"])
+            lint_doc = run_lint(root)
+            ok = check_ds(doc, load_baseline(baseline) + args.expect,
+                          lint_doc, args.gh_annotations)
+    except RuntimeError as e:
+        print("check_analyze: %s" % e, file=sys.stderr)
+        return 2
+
+    have = {f["id"] for f in doc["findings"]}
+    for fid in args.expect:
+        if fid in have:
+            print("expected finding present: %s" % fid)
+        else:
+            print("MISSING: expected finding not reported: %s" % fid)
+            ok = False
+
+    if not ok:
+        print("---- analyzer document ----")
+        json.dump(doc, sys.stdout, indent=2)
+        print()
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

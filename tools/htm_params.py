@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""htm_params.py -- single source of truth for the HTM capacity parameters.
+
+The simulator's best-effort HTM limits live in `struct HtmConfig` in
+src/sim/sim.h. Both static tools (tools/pto_lint.py and the clang-based
+tools/analyze/ pto-analyze binary, via its C++ twin of this parser in
+tools/analyze/htm_params.cpp) parse that header at runtime instead of
+duplicating the constants, so a capacity change in the simulator is
+immediately reflected in every footprint check.
+
+The parse is deliberately strict: if the struct or a field cannot be found,
+HtmParamsError is raised and the calling tool exits with a hard error rather
+than silently falling back to stale numbers. A ctest (tools/test_lint.py,
+plus the htm_params_drift test when pto-analyze is built) fails if the parse
+breaks or if the two language implementations ever disagree.
+
+Usage as a script:  python3 tools/htm_params.py [path/to/sim.h]
+prints the parsed parameters as JSON (the same shape pto-htm-params-dump
+emits), which the drift ctest compares byte-for-byte after key sorting.
+"""
+
+import json
+import os
+import re
+import sys
+
+# Fields of HtmConfig the static tools consume, in declaration order.
+FIELDS = ("max_write_lines", "max_read_lines", "max_duration")
+
+STRUCT_RE = re.compile(r"struct\s+HtmConfig\s*\{")
+
+
+class HtmParamsError(RuntimeError):
+    pass
+
+
+def default_sim_header(root=None):
+    if root is None:
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    return os.path.join(root, "src", "sim", "sim.h")
+
+
+def parse_htm_params(path=None):
+    """Parse HtmConfig's default member initializers out of sim.h.
+
+    Returns a dict {field: int}. Raises HtmParamsError when the struct, a
+    field, or its integer initializer cannot be found -- never guesses.
+    """
+    if path is None:
+        path = default_sim_header()
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            text = f.read()
+    except OSError as e:
+        raise HtmParamsError("cannot read %s: %s" % (path, e))
+
+    m = STRUCT_RE.search(text)
+    if not m:
+        raise HtmParamsError("struct HtmConfig not found in %s" % path)
+    # Body: up to the matching close brace (HtmConfig contains no nested
+    # braces today; a depth scan keeps this robust if it ever does).
+    depth = 0
+    start = text.index("{", m.start())
+    end = -1
+    for i in range(start, len(text)):
+        c = text[i]
+        if c == "{":
+            depth += 1
+        elif c == "}":
+            depth -= 1
+            if depth == 0:
+                end = i
+                break
+    if end < 0:
+        raise HtmParamsError("unterminated HtmConfig struct in %s" % path)
+    body = text[start:end]
+
+    params = {}
+    for field in FIELDS:
+        fm = re.search(
+            r"\b%s\s*=\s*([0-9][0-9']*)\s*;" % re.escape(field), body)
+        if not fm:
+            raise HtmParamsError(
+                "field '%s' with an integer default initializer not found "
+                "in HtmConfig (%s)" % (field, path))
+        params[field] = int(fm.group(1).replace("'", ""))
+
+    if params["max_write_lines"] <= 0 or params["max_read_lines"] <= 0:
+        raise HtmParamsError("HtmConfig capacities must be positive: %r"
+                             % params)
+    if params["max_write_lines"] > params["max_read_lines"]:
+        raise HtmParamsError(
+            "HtmConfig write capacity exceeds tracked read capacity: %r"
+            % params)
+    return params
+
+
+def main(argv):
+    path = argv[0] if argv else None
+    try:
+        params = parse_htm_params(path)
+    except HtmParamsError as e:
+        print("htm_params: %s" % e, file=sys.stderr)
+        return 2
+    json.dump(params, sys.stdout, indent=2, sort_keys=True)
+    print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -21,8 +21,10 @@ line), extracts the fast body, and rejects:
                                on the loop's line or the line before it
 
 and emits a per-site static read/write-set footprint estimate checked
-against the HTM capacity (HtmParams in src/sim/sim.h: 64 write lines, 512
-read lines). The estimate is structural -- each .load()/.store()/RMW site
+against the HTM capacity, parsed at startup from HtmConfig in src/sim/sim.h
+via tools/htm_params.py (shared with tools/analyze/'s pto-analyze; a parse
+failure is a hard error, never a silent fallback to stale constants). The
+estimate is structural -- each .load()/.store()/RMW site
 counts as one cache line, loop bodies multiply by the trip count when it is
 a literal (or a numeric bounded() annotation) and count once otherwise --
 so it is a lower bound, useful for catching prefixes that are over capacity
@@ -48,9 +50,15 @@ import shutil
 import subprocess
 import sys
 
-# HtmParams defaults from src/sim/sim.h; keep in sync.
-MAX_WRITE_LINES = 64
-MAX_READ_LINES = 512
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from htm_params import HtmParamsError, parse_htm_params  # noqa: E402
+
+# HTM capacity limits, parsed from HtmConfig in src/sim/sim.h at startup
+# (tools/htm_params.py is the single source of truth shared with
+# tools/analyze/). Populated by main(); the placeholders keep lint_file
+# usable from tests that set them explicitly.
+MAX_WRITE_LINES = None
+MAX_READ_LINES = None
 
 ANNOT_RE = re.compile(r"//\s*pto-lint:\s*bounded\(([^)]*)\)")
 
@@ -196,9 +204,11 @@ def lambda_body(arg):
 
 
 class Loop:
-    __slots__ = ("kind", "line", "head", "body", "body_line", "trip", "annot")
+    __slots__ = ("kind", "line", "head", "body", "body_line", "trip", "annot",
+                 "head_end_line", "tail_line")
 
-    def __init__(self, kind, line, head, body, body_line):
+    def __init__(self, kind, line, head, body, body_line, head_end_line=None,
+                 tail_line=None):
         self.kind = kind
         self.line = line
         self.head = head
@@ -206,6 +216,17 @@ class Loop:
         self.body_line = body_line
         self.trip = None   # numeric trip count when derivable
         self.annot = None  # bounded(...) annotation text when present
+        # Last line of the loop's header construct: the closing paren of a
+        # for/while head, or the closing paren of a do-while's trailing
+        # condition. Annotations may sit on any header line (headers that
+        # span lines put the "loop's line" several lines before the body).
+        self.head_end_line = head_end_line if head_end_line is not None \
+            else line
+        # do-while only: line of the trailing `while` keyword. The header
+        # lines of a do loop are disjoint from its body lines; tracking the
+        # tail separately keeps a nested loop's annotation inside the body
+        # from being misread as the do's.
+        self.tail_line = tail_line
 
 
 LOOP_HEAD_RE = re.compile(r"(?<![\w.:>])\b(for|while|do)\b")
@@ -233,8 +254,34 @@ def find_loops(body, base_line):
             if be < 0:
                 i = m.end()
                 continue
-            loops.append(Loop("do", line, "", body[bo + 1 : be - 1],
-                              base_line + body.count("\n", 0, bo)))
+            # Consume the trailing `while (cond);` too: left in the stream it
+            # would be re-matched as a phantom standalone while loop (whose
+            # own line the annotation on the `do` can never cover).
+            body_end = be
+            head = ""
+            head_end = bo
+            tail_at = None
+            j = be
+            while j < n and body[j].isspace():
+                j += 1
+            if body.startswith("while", j):
+                tail_at = j
+                po = body.find("(", j + 5)
+                pe = match_paren(body, po) if po >= 0 else -1
+                if pe >= 0:
+                    head = body[po + 1 : pe - 1]
+                    head_end = pe - 1
+                    j = pe
+                    while j < n and body[j].isspace():
+                        j += 1
+                    if j < n and body[j] == ";":
+                        j += 1
+                    be = j
+            loops.append(Loop("do", line, head, body[bo + 1 : body_end - 1],
+                              base_line + body.count("\n", 0, bo),
+                              base_line + body.count("\n", 0, head_end),
+                              None if tail_at is None else
+                              base_line + body.count("\n", 0, tail_at)))
             i = be
             continue
         po = body.find("(", m.end())
@@ -246,6 +293,7 @@ def find_loops(body, base_line):
             i = m.end()
             continue
         head = body[po + 1 : pe - 1]
+        head_end_line = base_line + body.count("\n", 0, pe - 1)
         # Loop body: next '{' block, or single statement up to ';'.
         j = pe
         while j < n and body[j].isspace():
@@ -264,7 +312,7 @@ def find_loops(body, base_line):
             lb = body[j:semi]
             lb_line = base_line + body.count("\n", 0, j)
             i = semi + 1
-        loops.append(Loop(kind, line, head, lb, lb_line))
+        loops.append(Loop(kind, line, head, lb, lb_line, head_end_line))
     return loops
 
 
@@ -309,9 +357,23 @@ def loop_is_syntactically_bounded(loop):
     return cond != "" and re.search(r"(<=|<|>=|>|!=)", cond) is not None
 
 
-def annotation_for(annots, line):
-    """bounded() annotation on `line` or the line above."""
-    return annots.get(line) or annots.get(line - 1)
+def annotation_for(annots, loop):
+    """bounded() annotation on the line before the loop or on any of its
+    header lines. Headers may span lines (a multi-line for/while head, or a
+    do-while whose condition trails the body), so matching only the keyword
+    line would attribute the annotation to the wrong line."""
+    if loop.kind == "do":
+        # Header lines of a do loop: `do` itself (and the line before), plus
+        # the trailing `while (cond);` -- but not the body lines in between.
+        lines = [loop.line - 1, loop.line]
+        if loop.tail_line is not None:
+            lines.extend(range(loop.tail_line, loop.head_end_line + 1))
+    else:
+        lines = range(loop.line - 1, loop.head_end_line + 1)
+    for ln in lines:
+        if ln in annots:
+            return annots[ln]
+    return None
 
 
 def count_accesses(body, base_line, annots, problems, site_label):
@@ -331,7 +393,7 @@ def count_accesses(body, base_line, annots, problems, site_label):
     reads += rmws
     writes += rmws
     for lp in loops:
-        lp.annot = annotation_for(annots, lp.line)
+        lp.annot = annotation_for(annots, lp)
         trip = for_trip_count(lp.head) if lp.kind == "for" else None
         if trip == -1:
             trip = None
@@ -539,6 +601,19 @@ def main(argv):
 
     root = args.root or os.path.dirname(
         os.path.dirname(os.path.abspath(__file__)))
+
+    # HTM capacity limits come from the simulator's HtmConfig, never from
+    # constants duplicated here (tools/htm_params.py; drift is a hard error).
+    global MAX_WRITE_LINES, MAX_READ_LINES
+    sim_header = os.path.join(root, "src", "sim", "sim.h")
+    try:
+        params = parse_htm_params(sim_header)
+    except HtmParamsError as e:
+        print("pto_lint: %s" % e, file=sys.stderr)
+        return 2
+    MAX_WRITE_LINES = params["max_write_lines"]
+    MAX_READ_LINES = params["max_read_lines"]
+
     files = args.files
     if not files:
         ds = os.path.join(root, "src", "ds")
@@ -561,12 +636,19 @@ def main(argv):
     violations = [dict(p, file=s.path) for s in all_sites for p in s.problems]
 
     if args.json:
+        site_counts = {}
+        for s in all_sites:
+            rel = os.path.relpath(s.path, root)
+            site_counts[rel] = site_counts.get(rel, 0) + 1
         doc = {
             "tool": "pto_lint",
             "extractor": "clang" if clang else "regex",
+            "htm_params": params,
+            "htm_params_source": os.path.relpath(sim_header, root),
             "max_write_lines": MAX_WRITE_LINES,
             "max_read_lines": MAX_READ_LINES,
             "files": len(files),
+            "site_counts": site_counts,
             "sites": [{
                 "file": os.path.relpath(s.path, root),
                 "line": s.line,

@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""Unit tests for the pure logic in tools/check_analyze.py (baseline diff,
+site-count cross-check, fixture set equality, annotation format). Runs with
+no clang and no built analyzer -- registered unconditionally as the
+`check_analyze_unit` ctest so the gate's policy logic is exercised on every
+tier-1 run, not only in CI's static-analysis job."""
+
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+from contextlib import redirect_stdout
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import check_analyze  # noqa: E402
+
+
+def finding(fid, file="src/ds/queue/ms_queue.h", line=10, message="m"):
+    kind, site, subject = fid.split(":", 2)
+    return {"id": fid, "kind": kind, "site": site, "subject": subject,
+            "file": file, "line": line, "message": message}
+
+
+class DiffFindings(unittest.TestCase):
+    def test_clean(self):
+        self.assertEqual(check_analyze.diff_findings([], []), ([], []))
+
+    def test_unexpected_and_stale(self):
+        unexpected, stale = check_analyze.diff_findings(
+            ["a:x:1", "b:y:2"], ["b:y:2", "c:z:3"])
+        self.assertEqual(unexpected, ["a:x:1"])
+        self.assertEqual(stale, ["c:z:3"])
+
+    def test_exact_match(self):
+        unexpected, stale = check_analyze.diff_findings(
+            ["a:x:1"], ["a:x:1"])
+        self.assertEqual((unexpected, stale), ([], []))
+
+
+class CompareSiteCounts(unittest.TestCase):
+    def test_agreement(self):
+        counts = {"src/ds/queue/ms_queue.h": 2, "src/ds/tle/tle.h": 1}
+        self.assertEqual(
+            check_analyze.compare_site_counts(counts, dict(counts)), [])
+
+    def test_mismatch_reported_both_directions(self):
+        out = check_analyze.compare_site_counts(
+            {"src/ds/a.h": 2}, {"src/ds/a.h": 1, "src/ds/b.h": 1})
+        self.assertEqual(len(out), 2)
+        self.assertIn("src/ds/a.h", out[0])
+        self.assertIn("src/ds/b.h", out[1])
+
+    def test_files_outside_prefix_ignored(self):
+        out = check_analyze.compare_site_counts(
+            {"tools/analyze/fixtures/helper_alloc.h": 1}, {})
+        self.assertEqual(out, [])
+
+
+class LoadBaseline(unittest.TestCase):
+    def write(self, doc):
+        f = tempfile.NamedTemporaryFile(
+            "w", suffix=".json", delete=False)
+        json.dump(doc, f)
+        f.close()
+        self.addCleanup(os.unlink, f.name)
+        return f.name
+
+    def test_roundtrip(self):
+        path = self.write({"version": 1, "findings": [
+            {"id": "doomed-deref:queue.dequeue:next", "reason": "benign"}]})
+        self.assertEqual(check_analyze.load_baseline(path),
+                         ["doomed-deref:queue.dequeue:next"])
+
+    def test_missing_reason_rejected(self):
+        path = self.write({"version": 1,
+                           "findings": [{"id": "a:b:c"}]})
+        with self.assertRaises(RuntimeError):
+            check_analyze.load_baseline(path)
+
+    def test_bad_version_rejected(self):
+        path = self.write({"version": 2, "findings": []})
+        with self.assertRaises(RuntimeError):
+            check_analyze.load_baseline(path)
+
+    def test_committed_baseline_loads(self):
+        committed = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                 "analyze", "baseline.json")
+        ids = check_analyze.load_baseline(committed)
+        self.assertEqual(ids, sorted(ids), "keep the baseline sorted")
+        for fid in ids:
+            self.assertEqual(len(fid.split(":")), 3, fid)
+
+
+class CheckFixtures(unittest.TestCase):
+    def doc(self, ids):
+        return {"findings": [finding(i) for i in ids],
+                "sites": [None] * 4, "site_counts": {}}
+
+    def run_check(self, ids):
+        buf = io.StringIO()
+        with redirect_stdout(buf):
+            ok = check_analyze.check_fixtures(self.doc(ids), gh=False)
+        return ok, buf.getvalue()
+
+    ALL_FOUR = [
+        "allocation:fixture.helper_alloc:make_node",
+        "blind-store:fixture.blind_store:next",
+        "over-capacity:fixture.over_capacity:writes",
+        "doomed-deref:fixture.doomed_deref:cur",
+    ]
+
+    def test_all_four_pass(self):
+        ok, out = self.run_check(self.ALL_FOUR)
+        self.assertTrue(ok, out)
+
+    def test_missing_class_fails(self):
+        ok, out = self.run_check(self.ALL_FOUR[:3])
+        self.assertFalse(ok)
+        self.assertIn("doomed-deref", out)
+
+    def test_extra_class_fails(self):
+        ok, out = self.run_check(
+            self.ALL_FOUR + ["syscall:fixture.helper_alloc:printf"])
+        self.assertFalse(ok)
+        self.assertIn("EXTRA", out)
+
+
+class CheckDs(unittest.TestCase):
+    def test_baselined_findings_and_matching_counts_pass(self):
+        doc = {"findings": [finding("doomed-deref:queue.dequeue:next")],
+               "sites": [None] * 3,
+               "site_counts": {"src/ds/queue/ms_queue.h": 2,
+                               "src/ds/tle/tle.h": 1}}
+        lint = {"site_counts": dict(doc["site_counts"])}
+        buf = io.StringIO()
+        with redirect_stdout(buf):
+            ok = check_analyze.check_ds(
+                doc, ["doomed-deref:queue.dequeue:next"], lint, gh=False)
+        self.assertTrue(ok, buf.getvalue())
+
+    def test_unexpected_finding_fails(self):
+        doc = {"findings": [finding("blind-store:queue.enqueue:next")],
+               "sites": [], "site_counts": {}}
+        buf = io.StringIO()
+        with redirect_stdout(buf):
+            ok = check_analyze.check_ds(doc, [], {"site_counts": {}},
+                                        gh=False)
+        self.assertFalse(ok)
+        self.assertIn("UNEXPECTED", buf.getvalue())
+
+    def test_stale_baseline_warns_but_passes(self):
+        doc = {"findings": [], "sites": [], "site_counts": {}}
+        buf = io.StringIO()
+        with redirect_stdout(buf):
+            ok = check_analyze.check_ds(doc, ["a:b:c"], {"site_counts": {}},
+                                        gh=False)
+        self.assertTrue(ok)
+        self.assertIn("stale", buf.getvalue())
+
+    def test_count_drift_fails(self):
+        doc = {"findings": [], "sites": [],
+               "site_counts": {"src/ds/tle/tle.h": 1}}
+        buf = io.StringIO()
+        with redirect_stdout(buf):
+            ok = check_analyze.check_ds(
+                doc, [], {"site_counts": {"src/ds/tle/tle.h": 2}}, gh=False)
+        self.assertFalse(ok)
+        self.assertIn("SITE-COUNT MISMATCH", buf.getvalue())
+
+
+class Annotate(unittest.TestCase):
+    def test_format(self):
+        line = check_analyze.annotate(
+            finding("blind-store:queue.enqueue:next",
+                    file="src/ds/queue/ms_queue.h", line=212,
+                    message="plain store publishes next"))
+        self.assertTrue(line.startswith(
+            "::error file=src/ds/queue/ms_queue.h,line=212::"), line)
+        self.assertIn("blind-store:queue.enqueue:next", line)
+
+
+if __name__ == "__main__":
+    unittest.main()

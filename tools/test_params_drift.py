@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Cross-language drift test for the HTM capacity parameters.
+
+tools/htm_params.py (Python, used by pto_lint.py) and
+tools/analyze/htm_params.cpp (C++, used by pto-analyze; probed here through
+the always-built pto-htm-params-dump binary) both parse `struct HtmConfig`
+out of src/sim/sim.h at runtime. This test fails if either parser breaks or
+if the two implementations ever disagree on a single field -- the
+"no duplicated constants" satellite's enforcement.
+
+Usage: test_params_drift.py <pto-htm-params-dump binary> <path/to/sim.h>
+(registered as the `htm_params_drift` ctest).
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from htm_params import FIELDS, parse_htm_params  # noqa: E402
+
+
+def main(argv):
+    if len(argv) != 2:
+        print("usage: test_params_drift.py <dump-binary> <sim.h>",
+              file=sys.stderr)
+        return 2
+    dump, header = argv
+
+    py = parse_htm_params(header)
+
+    proc = subprocess.run([dump, header], capture_output=True, text=True)
+    if proc.returncode != 0:
+        print("htm_params_drift: %s exited %d:\n%s"
+              % (dump, proc.returncode, proc.stderr), file=sys.stderr)
+        return 1
+    cpp = json.loads(proc.stdout)
+
+    ok = True
+    for field in FIELDS:
+        if field not in cpp:
+            print("DRIFT: C++ parser emitted no %r" % field)
+            ok = False
+        elif cpp[field] != py[field]:
+            print("DRIFT: %s: python=%d c++=%d"
+                  % (field, py[field], cpp[field]))
+            ok = False
+    extra = set(cpp) - set(FIELDS)
+    if extra:
+        print("DRIFT: C++ parser emitted unknown field(s): %s"
+              % ", ".join(sorted(extra)))
+        ok = False
+
+    if ok:
+        print("htm_params_drift: OK -- %s"
+              % ", ".join("%s=%d" % (f, py[f]) for f in FIELDS))
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
