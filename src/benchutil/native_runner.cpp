@@ -47,7 +47,7 @@ double native_measure_point(
     const RunnerOptions& opts, unsigned threads,
     const std::function<std::function<void(unsigned, std::uint64_t)>()>&
         make_fixture,
-    const char* bench, const char* series) {
+    const char* bench, const char* series, const SectionRunner& section) {
   // Pin backend selection before any worker thread can race the probe.
   (void)htm::backend();
   const bool emit =
@@ -67,7 +67,11 @@ double native_measure_point(
   double best = 0.0;
   for (unsigned trial = 0; trial < opts.trials; ++trial) {
     auto body = make_fixture();
-    const std::uint64_t ns = run_trial(threads, opts.ops_per_thread, body);
+    const std::uint64_t ns =
+        section ? section([&body, &opts](unsigned tid) {
+                    body(tid, opts.ops_per_thread);
+                  })
+                : run_trial(threads, opts.ops_per_thread, body);
     const double total_ops =
         static_cast<double>(opts.ops_per_thread) * threads;
     const double ops_per_ms = ns == 0 ? 0.0 : total_ops * 1e6 /

@@ -20,6 +20,14 @@
 
 namespace pto::bench {
 
+/// Custom parallel-section executor: run body(tid) once on each of the
+/// point's threads and return the wall-clock makespan in nanoseconds.
+/// Callers with a persistent pool (pto::service::Runtime keeps pinned workers
+/// parked between trials) pass one of these instead of the default
+/// spawn-per-trial threads.
+using SectionRunner =
+    std::function<std::uint64_t(const std::function<void(unsigned)>&)>;
+
 /// One measured native point: run `body(tid, ops)` on `threads` real threads
 /// per trial, return best-trial throughput in ops/ms. `make_fixture` runs
 /// before each trial on the calling thread and returns the per-thread body
@@ -27,10 +35,14 @@ namespace pto::bench {
 ///
 /// When `bench` is given and PTO_STATS is active, emits a structured record
 /// with the registry delta, latency summaries, and perf counters.
+///
+/// `section`, when non-empty, replaces the built-in spawn-and-barrier trial
+/// executor; it must run the body on exactly `threads` workers.
 double native_measure_point(
     const RunnerOptions& opts, unsigned threads,
     const std::function<std::function<void(unsigned, std::uint64_t)>()>&
         make_fixture,
-    const char* bench = nullptr, const char* series = nullptr);
+    const char* bench = nullptr, const char* series = nullptr,
+    const SectionRunner& section = {});
 
 }  // namespace pto::bench

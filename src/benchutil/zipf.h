@@ -46,6 +46,13 @@ class ZipfGenerator {
   std::uint64_t range() const { return n_; }
   double theta() const { return theta_; }
 
+  /// Exact probability of key k under the normalized distribution — the
+  /// analytic reference the loadgen chi-square tests compare sampled
+  /// frequencies against.
+  double pmf(std::uint64_t k) const {
+    return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+  }
+
  private:
   std::uint64_t n_;
   double theta_;

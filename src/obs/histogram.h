@@ -104,7 +104,11 @@ class Histogram {
 
   /// Value at quantile q in [0,1]: the midpoint of the bucket holding the
   /// ceil(q * total)-th sample (rank from 1), so the error against an exact
-  /// oracle is bounded by one bucket width. 0 when empty.
+  /// oracle is bounded by one bucket width. Clamped to max_value(): in the
+  /// wide tiers a midpoint can exceed every recorded value (e.g. the max
+  /// sits in the lower half of its bucket), and an estimate above the
+  /// observed max reads as nonsense in emitted summaries (p999 > max).
+  /// 0 when empty.
   std::uint64_t quantile(double q) const {
     if (total_ == 0) return 0;
     std::uint64_t rank = static_cast<std::uint64_t>(
@@ -115,7 +119,9 @@ class Histogram {
     for (unsigned i = 0; i < kHistBuckets; ++i) {
       seen += counts_[i];
       if (seen >= rank) {
-        return hist_bucket_lower(i) + (hist_bucket_width(i) - 1) / 2;
+        const std::uint64_t mid =
+            hist_bucket_lower(i) + (hist_bucket_width(i) - 1) / 2;
+        return max_ != 0 && mid > max_ ? max_ : mid;
       }
     }
     return max_;  // unreachable: seen reaches total_

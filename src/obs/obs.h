@@ -57,6 +57,11 @@ void set_hist_on(bool on);
 
 inline void note_fallback() { ++detail::tls_fallbacks; }
 
+/// This thread's fallback count so far. Callers that can't scope an OpTimer
+/// around an op (e.g. batched service requests timed from enqueue) sample
+/// this before/after to classify the op fast vs fallback.
+inline std::uint64_t fallbacks_now() { return detail::tls_fallbacks; }
+
 /// Latency summaries in nanoseconds, split by path taken.
 struct LatencySiteSummary {
   std::string site;

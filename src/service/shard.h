@@ -1,0 +1,255 @@
+// pto::service shard router: a key-value (key-set) service front end over
+// per-shard instances of the paper's structures, templated on Platform so the
+// exact same router runs on real std::threads (NativePlatform, bench/svc_kv)
+// and on simx virtual threads (SimPlatform — the deterministic twin the
+// differential tests replay a WorkloadSpec under).
+//
+// Keys hash to shards through a SplitMix64-style finalizer, so contiguous or
+// zipf-clustered hot keys spread across shards instead of piling onto shard
+// 0. Each shard is an independent structure with its own epoch domain
+// (src/reclaim); a Client registers one ThreadCtx per shard and must be used
+// by a single thread, mirroring the per-thread ctx discipline of the
+// underlying structures.
+//
+// BatchingClient adds optional per-shard request batching: ops buffer
+// per shard and apply when a shard's buffer reaches the batch size. Per-key
+// program order is preserved (a key always maps to the same shard and a
+// shard's buffer drains in order); cross-shard program order is relaxed —
+// the usual pipelined-client contract. Recorded latency spans enqueue to
+// completion, so buffering delay is charged to the op.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ds/hashtable/fset_hash.h"
+#include "ds/skiplist/skiplist.h"
+#include "obs/obs.h"
+#include "obs/tsc.h"
+#include "service/loadgen.h"
+
+namespace pto::service {
+
+/// SplitMix64 finalizer: full-avalanche key -> shard spreading.
+inline std::uint64_t mix_key(std::uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xFF51AFD7ED558CCDull;
+  k ^= k >> 33;
+  k *= 0xC4CEB9FE1A85EC53ull;
+  k ^= k >> 33;
+  return k;
+}
+
+// ---------------------------------------------------------------------------
+// Structure adapters: normalize each src/ds structure to get/put/del.
+// ---------------------------------------------------------------------------
+
+template <class P>
+struct SkipAdapter {
+  using DS = SkipList<P>;
+  using Ctx = typename DS::ThreadCtx;
+  static constexpr Structure kStructure = Structure::kSkiplist;
+
+  bool pto = true;  ///< PTO-accelerated ops vs the plain lock-free baseline
+
+  bool put(DS& d, Ctx& c, std::int64_t k) const {
+    return pto ? d.insert_pto(c, k) : d.insert_lf(c, k);
+  }
+  bool del(DS& d, Ctx& c, std::int64_t k) const {
+    return pto ? d.remove_pto(c, k) : d.remove_lf(c, k);
+  }
+  bool get(DS& d, Ctx& c, std::int64_t k) const { return d.contains(c, k); }
+};
+
+template <class P>
+struct HashAdapter {
+  using DS = FSetHash<P>;
+  using Ctx = typename DS::ThreadCtx;
+  using Mode = typename DS::Mode;
+  static constexpr Structure kStructure = Structure::kHash;
+
+  /// kPto by default: transactional lookups with elided epoch fences, CoW
+  /// updates — safe to mix with every other mode's updates.
+  Mode mode = Mode::kPto;
+
+  bool put(DS& d, Ctx& c, std::int64_t k) const {
+    return d.insert(c, k, mode);
+  }
+  bool del(DS& d, Ctx& c, std::int64_t k) const {
+    return d.remove(c, k, mode);
+  }
+  bool get(DS& d, Ctx& c, std::int64_t k) const {
+    return d.contains(c, k, mode);
+  }
+};
+
+/// Latency sites shared by every service driver; interned once.
+struct SvcSites {
+  obs::LatencySite* get;
+  obs::LatencySite* put;
+  obs::LatencySite* del;
+
+  static SvcSites intern() {
+    return {obs::intern_latency_site("svc.get"),
+            obs::intern_latency_site("svc.put"),
+            obs::intern_latency_site("svc.del")};
+  }
+  obs::LatencySite* of(OpKind k) const {
+    return k == OpKind::kGet ? get : k == OpKind::kPut ? put : del;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// The router
+// ---------------------------------------------------------------------------
+
+template <class P, class A>
+class ShardedKV {
+ public:
+  using DS = typename A::DS;
+  using Ctx = typename A::Ctx;
+
+  explicit ShardedKV(unsigned nshards, A adapter = {}) : adapter_(adapter) {
+    shards_.reserve(nshards);
+    for (unsigned s = 0; s < nshards; ++s) {
+      shards_.push_back(std::make_unique<DS>());
+    }
+  }
+
+  unsigned shards() const { return static_cast<unsigned>(shards_.size()); }
+
+  static unsigned shard_of(std::int64_t key, unsigned nshards) {
+    return static_cast<unsigned>(mix_key(static_cast<std::uint64_t>(key)) %
+                                 nshards);
+  }
+
+  /// Per-thread access handle: one ThreadCtx (epoch registration) per shard.
+  /// Single-thread use only; destroy to release the epoch slots (thread
+  /// churn in the service maps to client churn here).
+  class Client {
+   public:
+    explicit Client(ShardedKV& kv) : kv_(&kv) {
+      ctxs_.reserve(kv.shards());
+      for (unsigned s = 0; s < kv.shards(); ++s) {
+        ctxs_.emplace_back(kv.shards_[s]->make_ctx());
+      }
+    }
+
+    bool put(std::int64_t k) {
+      const unsigned s = shard_of(k, kv_->shards());
+      const bool ok = kv_->adapter_.put(*kv_->shards_[s], ctxs_[s], k);
+      puts_ok += ok;
+      return ok;
+    }
+    bool del(std::int64_t k) {
+      const unsigned s = shard_of(k, kv_->shards());
+      const bool ok = kv_->adapter_.del(*kv_->shards_[s], ctxs_[s], k);
+      dels_ok += ok;
+      return ok;
+    }
+    bool get(std::int64_t k) {
+      const unsigned s = shard_of(k, kv_->shards());
+      return kv_->adapter_.get(*kv_->shards_[s], ctxs_[s], k);
+    }
+
+    bool exec(const Op& op) {
+      switch (op.kind) {
+        case OpKind::kGet: return get(op.key);
+        case OpKind::kPut: return put(op.key);
+        case OpKind::kDel: return del(op.key);
+      }
+      return false;  // unreachable
+    }
+
+    /// Conservation counters: for set semantics, final service size must
+    /// equal sum over clients of (puts_ok - dels_ok) plus the prefill.
+    std::uint64_t puts_ok = 0;
+    std::uint64_t dels_ok = 0;
+
+   private:
+    ShardedKV* kv_;
+    std::vector<Ctx> ctxs_;
+  };
+
+  Client make_client() { return Client(*this); }
+
+  std::size_t size_slow() {
+    std::size_t n = 0;
+    for (auto& s : shards_) n += s->size_slow();
+    return n;
+  }
+
+  bool check_invariants() {
+    for (auto& s : shards_) {
+      if (!s->check_invariants()) return false;
+    }
+    return true;
+  }
+
+ private:
+  friend class Client;
+  A adapter_;
+  std::vector<std::unique_ptr<DS>> shards_;
+};
+
+/// Per-shard batching wrapper around Client. exec() buffers; a shard's
+/// buffer applies in enqueue order once it reaches `batch` ops (flush_all()
+/// drains the tails). With PTO_OBS armed, each op's recorded latency runs
+/// from enqueue to its batched completion.
+template <class KV>
+class BatchingClient {
+ public:
+  BatchingClient(KV& kv, unsigned batch, const SvcSites* sites = nullptr)
+      : c_(kv.make_client()),
+        nshards_(kv.shards()),
+        batch_(batch == 0 ? 1 : batch),
+        sites_(sites),
+        bufs_(nshards_) {
+    for (auto& b : bufs_) b.reserve(batch_);
+  }
+
+  void exec(const Op& op) {
+    const unsigned s = KV::shard_of(op.key, nshards_);
+    const std::uint64_t t0 =
+        sites_ != nullptr && obs::hist_on() ? obs::now_ticks() : 0;
+    bufs_[s].push_back({op, t0});
+    if (bufs_[s].size() >= batch_) flush(s);
+  }
+
+  void flush_all() {
+    for (unsigned s = 0; s < nshards_; ++s) {
+      if (!bufs_[s].empty()) flush(s);
+    }
+  }
+
+  typename KV::Client& client() { return c_; }
+
+ private:
+  struct Pending {
+    Op op;
+    std::uint64_t enqueue_ticks;
+  };
+
+  void flush(unsigned s) {
+    for (const Pending& p : bufs_[s]) {
+      const std::uint64_t fb0 = obs::fallbacks_now();
+      c_.exec(p.op);
+      if (p.enqueue_ticks != 0) {
+        const std::uint64_t t1 = obs::now_ticks();
+        obs::record_latency(sites_->of(p.op.kind),
+                            obs::fallbacks_now() != fb0,
+                            t1 > p.enqueue_ticks ? t1 - p.enqueue_ticks : 0);
+      }
+    }
+    bufs_[s].clear();
+  }
+
+  typename KV::Client c_;
+  unsigned nshards_;
+  std::size_t batch_;
+  const SvcSites* sites_;
+  std::vector<std::vector<Pending>> bufs_;
+};
+
+}  // namespace pto::service

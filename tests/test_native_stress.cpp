@@ -5,7 +5,9 @@
 // Kept short: correctness smoke under real concurrency, not benchmarks.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cstdint>
 #include <thread>
 #include <vector>
 
@@ -21,6 +23,8 @@
 #include "ds/queue/ms_queue.h"
 #include "ds/skiplist/skiplist.h"
 #include "platform/native_platform.h"
+#include "service/loadgen.h"
+#include "service/shard.h"
 
 namespace {
 
@@ -207,6 +211,76 @@ TEST(NativeStress, MindicatorQuiesces) {
   for (auto& th : threads) th.join();
   EXPECT_EQ(m.query(), pto::Mindicator<NativePlatform>::kEmpty);
   EXPECT_TRUE(m.check_invariants());
+}
+
+TEST(NativeStress, ShardRouterChurnOversubscribed) {
+  // The service shard router under deliberately hostile thread geometry:
+  // 2x hardware_concurrency workers (forced OS preemption inside prefix
+  // transactions) and client-session churn mid-run — each worker destroys
+  // its Client halfway (releasing its per-shard epoch slots) and continues
+  // through a fresh one, as a connection-oriented service would on
+  // reconnect. Zero lost ops: per-thread per-key net counters must agree
+  // with final membership, and aggregate puts-dels with the router size.
+  namespace svc = pto::service;
+  using KV = svc::ShardedKV<NativePlatform, svc::SkipAdapter<NativePlatform>>;
+  KV kv(4, svc::SkipAdapter<NativePlatform>{true});
+
+  constexpr std::uint64_t kKeys = 128;
+  const unsigned nthreads =
+      std::max(4u, 2 * std::thread::hardware_concurrency());
+  svc::WorkloadSpec spec;
+  spec.keyspace = kKeys;
+  spec.theta = 0.9;
+  spec.get_pct = 20;  // update-heavy
+  spec.put_pct = 40;
+  spec.seed = 0x57CE55;
+  const svc::OpStream stream(spec);
+
+  std::vector<std::vector<int>> net(nthreads, std::vector<int>(kKeys, 0));
+  std::vector<std::uint64_t> puts_ok(nthreads, 0), dels_ok(nthreads, 0);
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < nthreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<pto::service::Op> ops;
+      stream.fill(t, kOps, ops);
+      // Two client sessions per worker: churn in the middle of the stream.
+      for (int session = 0; session < 2; ++session) {
+        auto client = kv.make_client();
+        const std::size_t lo = session == 0 ? 0 : ops.size() / 2;
+        const std::size_t hi = session == 0 ? ops.size() / 2 : ops.size();
+        for (std::size_t i = lo; i < hi; ++i) {
+          const auto k = static_cast<std::size_t>(ops[i].key);
+          switch (ops[i].kind) {
+            case svc::OpKind::kGet: client.get(ops[i].key); break;
+            case svc::OpKind::kPut: net[t][k] += client.put(ops[i].key); break;
+            case svc::OpKind::kDel: net[t][k] -= client.del(ops[i].key); break;
+          }
+        }
+        puts_ok[t] += client.puts_ok;
+        dels_ok[t] += client.dels_ok;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  auto check = kv.make_client();
+  std::size_t expect_size = 0;
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    int total = 0;
+    for (const auto& v : net) total += v[static_cast<std::size_t>(k)];
+    ASSERT_TRUE(total == 0 || total == 1) << "key " << k;
+    ASSERT_EQ(check.get(static_cast<std::int64_t>(k)), total == 1)
+        << "key " << k;
+    expect_size += static_cast<std::size_t>(total);
+  }
+  std::uint64_t puts = 0, dels = 0;
+  for (unsigned t = 0; t < nthreads; ++t) {
+    puts += puts_ok[t];
+    dels += dels_ok[t];
+  }
+  EXPECT_EQ(kv.size_slow(), expect_size);
+  EXPECT_EQ(kv.size_slow(), static_cast<std::size_t>(puts - dels));
+  EXPECT_TRUE(kv.check_invariants());
 }
 
 TEST(NativeStress, ListPerKeyConsistency) {

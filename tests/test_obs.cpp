@@ -115,6 +115,30 @@ TEST(Histogram, EmptyAndSingleton) {
   EXPECT_EQ(s.max, 17u);
 }
 
+TEST(Histogram, QuantileNeverExceedsObservedMax) {
+  // A value in the lower half of a wide bucket: the bucket midpoint lies
+  // above it, so an unclamped quantile would report p50 > max (the service
+  // open-loop latency stream hit exactly this in multi-ms buckets).
+  obs::Histogram h;
+  constexpr std::uint64_t kV = 4036431;  // bucket width 131072 at this tier
+  h.record(kV);
+  for (double q : {0.5, 0.99, 0.999}) EXPECT_LE(h.quantile(q), kV);
+  const obs::HistSummary s = h.summarize();
+  EXPECT_LE(s.p999, s.max);
+  EXPECT_EQ(s.max, kV);
+
+  // Denser case: many samples, every quantile bounded by the global max.
+  obs::Histogram d;
+  pto::SplitMix64 rng(99);
+  std::uint64_t max = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t v = rng.next_below(1u << 24);
+    max = v > max ? v : max;
+    d.record(v);
+  }
+  for (double q : {0.5, 0.9, 0.99, 0.999, 1.0}) EXPECT_LE(d.quantile(q), max);
+}
+
 // ---------------------------------------------------------------------------
 // Merge algebra
 // ---------------------------------------------------------------------------
